@@ -1,0 +1,49 @@
+"""A4 — ablation: transport capacity (bus count) sweep, 1..4 buses.
+
+The paper samples 1 and 3 buses; this sweep fills in the curve and
+reports the bus utilisation the scheduler achieves at each width — the
+falling utilisation is why "more buses" saturates.
+"""
+
+from __future__ import annotations
+
+from repro.dse.config import ArchitectureConfiguration
+from repro.programs import run_forwarding
+from repro.reporting import render_sweep
+
+BUSES = (1, 2, 3, 4)
+
+
+def sweep_kind(kind, routes, packets):
+    cycle_points, util_points = [], []
+    for buses in BUSES:
+        config = ArchitectureConfiguration(bus_count=buses, table_kind=kind)
+        result = run_forwarding(config, routes, packets)
+        assert result.correct, result.mismatches
+        cycle_points.append((buses, round(result.cycles_per_packet, 1)))
+        util_points.append((buses, round(result.bus_utilization * 100)))
+    return cycle_points, util_points
+
+
+def test_bus_scaling(benchmark, routes100, worst_packets):
+    cycles, utils = {}, {}
+    for kind in ("sequential", "balanced-tree", "cam"):
+        cycles[kind], utils[kind] = sweep_kind(kind, routes100,
+                                               worst_packets)
+    benchmark.pedantic(sweep_kind,
+                       args=("cam", routes100, worst_packets),
+                       rounds=1, iterations=1)
+    print()
+    print(render_sweep("cycles/packet vs bus count", "buses", cycles))
+    print()
+    print(render_sweep("bus utilisation [%] vs bus count", "buses", utils))
+
+    for kind in ("sequential", "balanced-tree", "cam"):
+        series = dict(cycles[kind])
+        # monotone improvement with diminishing returns
+        assert series[1] > series[2] >= series[3] * 0.999
+        gain_12 = series[1] / series[2]
+        gain_34 = series[3] / series[4]
+        assert gain_12 > gain_34, kind
+        # a single bus is the fully serialised baseline
+        assert dict(utils[kind])[1] >= dict(utils[kind])[4]

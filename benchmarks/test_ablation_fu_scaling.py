@@ -1,0 +1,61 @@
+"""A2 — ablation: FU multiplication helps the RAM searches, not the CAM.
+
+§4: with the CAM, "multiplying the number of functional units does not
+anymore seem to offer considerable increase ... instead it actually
+causes the power and area requirements to increase." Sweep the
+matcher/counter/comparator set count at 3 buses for every table option.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dse.config import ArchitectureConfiguration
+from repro.estimation import estimate_area, estimate_power
+from repro.programs import run_forwarding
+from repro.reporting import render_sweep
+
+FU_SETS = (1, 2, 3)
+
+
+def sweep_kind(kind, routes, packets):
+    points = []
+    for sets in FU_SETS:
+        config = ArchitectureConfiguration(
+            bus_count=3, matchers=sets, counters=sets, comparators=sets,
+            table_kind=kind)
+        result = run_forwarding(config, routes, packets)
+        assert result.correct, result.mismatches
+        points.append((sets, round(result.cycles_per_packet, 1)))
+    return points
+
+
+def test_fu_scaling(benchmark, routes100, worst_packets):
+    series = {}
+    for kind in ("sequential", "balanced-tree", "cam"):
+        series[kind] = sweep_kind(kind, routes100, worst_packets)
+    benchmark.pedantic(sweep_kind, args=("cam", routes100, worst_packets),
+                       rounds=1, iterations=1)
+    print()
+    print(render_sweep("cycles/packet vs FU sets (3 buses)", "FU sets",
+                       series))
+
+    seq = dict(series["sequential"])
+    cam = dict(series["cam"])
+    # sequential search speeds up with more strands (bounded by the
+    # single memory port: ~2 loads/entry is the floor either way)...
+    assert seq[3] < seq[1]
+    # ...the CAM path does not care (within noise)
+    assert cam[3] == pytest.approx(cam[1], rel=0.1)
+
+    # but area and power only ever grow with the FU count
+    for kind in ("sequential", "balanced-tree", "cam"):
+        areas, powers = [], []
+        for sets in FU_SETS:
+            config = ArchitectureConfiguration(
+                bus_count=3, matchers=sets, counters=sets,
+                comparators=sets, table_kind=kind)
+            areas.append(estimate_area(config, 100e6).total_mm2)
+            powers.append(estimate_power(config, 100e6).processor_w)
+        assert areas == sorted(areas)
+        assert powers == sorted(powers)

@@ -1,0 +1,63 @@
+"""E3 — extension: socket-count reduction on the interconnection network.
+
+The paper's architecture connects FUs to buses through sockets, and its
+area model prices every socket. Full connectivity is what Table 1's
+instances use, but a cheaper network that attaches rarely-used units
+(checksum, masker, shifter, LIU) to a single bus saves socket area. The
+bus scheduler transparently honours the restriction, so the same
+generated program assembles onto the reduced network — the question is
+how many cycles the lost placement freedom costs versus the silicon
+saved. (This explores the paper's "varying the internal data transport
+capacity" axis at the socket granularity.)
+"""
+
+from __future__ import annotations
+
+from repro.dse.config import ArchitectureConfiguration
+from repro.estimation.technology import SOCKET_AREA_MM2
+from repro.programs import run_forwarding
+from repro.programs.machine import build_machine
+from repro.reporting import render_rows
+
+#: units rarely touched by the forwarding fast path: pin them to bus 0
+COLD_UNITS = ("cks0", "msk0", "shf0", "liu0")
+
+
+def cold_connectivity():
+    return {name: frozenset({0}) for name in COLD_UNITS}
+
+
+def measure(kind, routes, packets, restricted):
+    config = ArchitectureConfiguration(bus_count=3, table_kind=kind)
+    machine = build_machine(
+        config, connectivity=cold_connectivity() if restricted else None)
+    machine.load_routes(list(routes))
+    result = run_forwarding(config, routes, packets, machine=machine)
+    assert result.correct, result.mismatches
+    return result.cycles_per_packet
+
+
+def test_socket_reduction(benchmark, routes100, worst_packets):
+    saved_sockets = len(COLD_UNITS) * 2  # each leaves two of three buses
+    saved_area = saved_sockets * SOCKET_AREA_MM2
+
+    rows = []
+    for kind in ("sequential", "balanced-tree", "cam"):
+        full = measure(kind, routes100, worst_packets, restricted=False)
+        reduced = measure(kind, routes100, worst_packets, restricted=True)
+        rows.append([kind, round(full, 1), round(reduced, 1),
+                     f"{(reduced / full - 1) * 100:+.1f}%"])
+    benchmark.pedantic(measure,
+                       args=("cam", routes100, worst_packets, True),
+                       rounds=1, iterations=1)
+    print()
+    print(render_rows(
+        ["table", "cyc/pkt (full sockets)", "cyc/pkt (reduced)", "delta"],
+        rows))
+    print(f"\nsocket area saved: {saved_sockets} sockets = "
+          f"{saved_area:.2f} mm2")
+
+    for kind, full, reduced, _delta in rows:
+        # correctness is already asserted; the cycle penalty of pinning
+        # the cold units must stay small — they sit off the hot loop
+        assert reduced <= full * 1.15, kind

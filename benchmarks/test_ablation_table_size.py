@@ -1,0 +1,69 @@
+"""A3 — ablation: required clock vs routing-table size.
+
+The paper fixes 100 entries; this ablation sweeps the size and shows the
+asymptotic separation driving its conclusions — the sequential scan's
+required clock grows linearly, the balanced tree's logarithmically, and
+the CAM's not at all. The fitted analytic model is cross-checked against
+cycle-accurate simulation at every swept size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dse.config import ArchitectureConfiguration
+from repro.estimation.frequency import ThroughputConstraint
+from repro.programs.cycle_model import (
+    crossover_entries,
+    fit_cycle_model,
+    measure_cycles,
+)
+from repro.reporting import render_sweep
+
+SIZES = (16, 40, 100, 220)
+
+
+def sweep(kind):
+    config = ArchitectureConfiguration(bus_count=3, table_kind=kind)
+    model = fit_cycle_model(config, sizes=(22, 64), packets=5)
+    points = []
+    for size in SIZES:
+        simulated = measure_cycles(config, size, packets=5, seed=31)
+        predicted = model.predict(size)
+        points.append((size, simulated, predicted))
+    return model, points
+
+
+def test_table_size_scaling(benchmark):
+    constraint = ThroughputConstraint()
+    series = {}
+    models = {}
+    for kind in ("sequential", "balanced-tree", "cam"):
+        model, points = sweep(kind)
+        models[kind] = model
+        series[kind] = [(n, round(constraint.required_clock(sim) / 1e6))
+                        for n, sim, _pred in points]
+        # the analytic model tracks the simulator across the sweep
+        for n, simulated, predicted in points:
+            assert predicted == pytest.approx(simulated, rel=0.35), (kind, n)
+    benchmark.pedantic(measure_cycles,
+                       args=(ArchitectureConfiguration(
+                           bus_count=3, table_kind="cam"), 100),
+                       kwargs={"packets": 5}, rounds=1, iterations=1)
+    print()
+    print(render_sweep("required clock [MHz] vs table size (3 buses)",
+                       "entries", series))
+
+    seq = dict(series["sequential"])
+    tree = dict(series["balanced-tree"])
+    cam = dict(series["cam"])
+    # linear vs logarithmic vs constant growth
+    assert seq[220] > 4 * seq[16]
+    assert tree[220] < 2.5 * tree[16]
+    assert cam[220] == pytest.approx(cam[16], rel=0.1)
+
+    # the tree overtakes the scan at small sizes already
+    crossover = crossover_entries(models["sequential"],
+                                  models["balanced-tree"])
+    assert crossover is not None and crossover < 40
+    print(f"\ntree beats sequential from {crossover} entries up")

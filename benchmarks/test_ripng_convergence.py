@@ -1,0 +1,61 @@
+"""E2 — extension: RIPng convergence on synthetic topologies.
+
+Exercises the routing-table build/maintain path end to end (the paper's
+§3 control-plane duty) on line and ring topologies, including failure
+recovery, and reports convergence rounds and message counts.
+"""
+
+from __future__ import annotations
+
+from repro.ipv6.address import Ipv6Prefix
+from repro.reporting import render_rows
+from repro.router import line_topology, ring_topology
+
+
+def converge_line(count):
+    network = line_topology(count)
+    report = network.run_until_converged()
+    return network, report
+
+
+def test_ripng_convergence(benchmark):
+    rows = []
+    _net, report = benchmark.pedantic(converge_line, args=(4,),
+                                      rounds=1, iterations=1)
+    assert report.converged
+
+    for label, factory, size in (("line-3", line_topology, 3),
+                                 ("line-6", line_topology, 6),
+                                 ("ring-5", ring_topology, 5)):
+        network = factory(size)
+        report = network.run_until_converged(max_rounds=900)
+        assert report.converged, label
+        probe = Ipv6Prefix.parse("2001:db8:0:1::/64")
+        assert network.tables_agree_on(probe), label
+        rows.append([label, report.rounds, report.messages_delivered])
+
+    print()
+    print(render_rows(["topology", "rounds to converge",
+                       "RIPng datagrams"], rows))
+
+    # longer lines take longer to converge and exchange more messages
+    line3 = rows[0]
+    line6 = rows[1]
+    assert line6[2] > line3[2]
+
+
+def test_failure_recovery(benchmark):
+    def recover():
+        network = ring_topology(4)
+        network.run_until_converged()
+        network.links[-1].up = False
+        for _ in range(400):
+            network.step()
+        return network
+
+    network = benchmark.pedantic(recover, rounds=1, iterations=1)
+    prefix = Ipv6Prefix.parse("2001:db8:0:1::/64")
+    # r3 lost its direct path and relearned the long way around
+    assert network.route_metric("r3", prefix) == 4
+    print(f"\npost-failure metric at r3: "
+          f"{network.route_metric('r3', prefix)} (was 2)")

@@ -1,0 +1,59 @@
+"""T1 — regenerate the paper's Table 1 (the headline experiment).
+
+Nine rows: {sequential, balanced tree, CAM} x {1BUS/1FU, 3BUS/1FU,
+3BUS/3CNT,3CMP,3M}: minimum clock for 10 Gbps with a 100-entry table,
+bus utilisation, area, power. The benchmark times one full nine-row
+regeneration (simulation + estimation); the assertions check the
+qualitative shape the paper's §4 draws from the table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dse import generate_table1, render_table1, shape_checks
+from repro.estimation.technology import MAX_CLOCK_HZ
+
+
+def test_table1_regeneration(benchmark, evaluator):
+    rows = benchmark.pedantic(generate_table1, args=(evaluator,),
+                              rounds=1, iterations=1)
+    print()
+    print(render_table1(rows))
+
+    assert shape_checks(rows) == []
+    by_key = {(r.paper.table_kind, r.paper.config_label): r for r in rows}
+
+    # calibration anchor: sequential 1-bus sits at the paper's 6 GHz
+    anchor = by_key[("sequential", "1BUS/1FU")]
+    assert anchor.measured.required_clock_hz == \
+        pytest.approx(6.0e9, rel=0.05)
+
+    # every sequential configuration exceeds the 0.18um library: NA rows
+    for label in ("1BUS/1FU", "3BUS/1FU"):
+        row = by_key[("sequential", label)]
+        assert not row.measured.feasible
+        assert row.measured.area_mm2 is None
+
+    # the balanced tree's multi-bus configurations are feasible...
+    assert by_key[("balanced-tree", "3BUS/1FU")].measured.feasible
+    # ...and land near the paper's 600 MHz
+    assert by_key[("balanced-tree", "3BUS/1FU")].measured.required_clock_hz \
+        == pytest.approx(600e6, rel=0.25)
+
+    # every CAM configuration is comfortably feasible and low-power
+    for label in ("1BUS/1FU", "3BUS/1FU", "3BUS/3CNT,3CMP,3M"):
+        row = by_key[("cam", label)]
+        assert row.measured.feasible
+        assert row.measured.required_clock_hz < 0.5 * MAX_CLOCK_HZ
+        assert row.measured.power_w < 2.0
+
+    # §4: "Multiplying the number of functional units does not anymore
+    # seem to offer considerable increase in routing table access
+    # performance [with a CAM], instead it actually causes the power and
+    # area requirements to increase."
+    cam_bus = by_key[("cam", "3BUS/1FU")].measured
+    cam_fu = by_key[("cam", "3BUS/3CNT,3CMP,3M")].measured
+    assert cam_fu.required_clock_hz >= 0.9 * cam_bus.required_clock_hz
+    assert cam_fu.area_mm2 > cam_bus.area_mm2
+    assert cam_fu.power_w > cam_bus.power_w

@@ -1,0 +1,22 @@
+"""repro — TACO protocol-processor evaluation for IPv6 routing.
+
+A complete, from-scratch reproduction of *"Fast Evaluation of Protocol
+Processor Architectures for IPv6 Routing"* (Lilius, Truscan, Virtanen,
+DATE 2003): a cycle-accurate transport-triggered-architecture (TTA)
+processor model with the paper's functional-unit library, an assembly
+toolchain (move IR, optimiser, bus scheduler), an IPv6 + RIPng protocol
+substrate, three routing-table implementations (sequential, balanced
+tree, CAM), physical area/power/frequency estimation, and the
+design-space exploration that regenerates the paper's Table 1.
+
+Quick start::
+
+    from repro.dse import Evaluator, generate_table1, render_table1
+    print(render_table1(generate_table1()))
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import ReproError
+
+__all__ = ["ReproError", "__version__"]

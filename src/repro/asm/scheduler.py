@@ -1,0 +1,238 @@
+"""Bus (list) scheduler: packs sequential moves onto N buses.
+
+"Code optimization for TACO processors reduces in fact to well-known bus
+scheduling and registry allocation problems" (paper §3). This is a classic
+in-order list scheduler over one basic block at a time:
+
+* every move is placed at the earliest cycle allowed by its dependences
+  and by bus availability (lexicographic (cycle, bus) order, respecting
+  socket connectivity);
+* control moves (``nc.pc`` / ``nc.halt``) act as barriers: everything
+  textually before them finishes no later than their cycle, everything
+  after starts strictly later — which is exactly what makes the scheduled
+  linear instruction stream preserve fall-through semantics.
+
+Dependence edges (with minimum cycle separation):
+
+=====================================================  ==========
+result read after the trigger that produces it          FU latency
+guard evaluated after the trigger that sets the bit     FU latency
+register (GPR) read after write                         1
+register/operand overwrite after a read / after write   1
+trigger serialisation on one FU                         1
+trigger after its operand writes                        0 (bus order)
+trigger after readers of the FU's previous result       0
+=====================================================  ==========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AssemblyError
+from repro.tta.instruction import Instruction
+from repro.tta.ports import PortKind, PortRef
+from repro.tta.processor import TacoProcessor
+from repro.asm.ir import BasicBlock, IrProgram, SymbolicMove
+
+CONTROL_FU = "nc"
+
+#: FU kinds whose triggers touch data memory (directly or via DMA) and
+#: therefore stay mutually ordered
+MEMORY_ORDERED_KINDS = frozenset({"mmu", "oppu", "ippu"})
+
+
+@dataclass
+class ScheduledBlock:
+    """One block's schedule: per-cycle lists of (bus, move)."""
+
+    label: str
+    cycles: List[List[Tuple[int, SymbolicMove]]] = field(default_factory=list)
+
+    def length(self) -> int:
+        return len(self.cycles)
+
+
+@dataclass
+class ScheduledProgram:
+    blocks: List[ScheduledBlock]
+    bus_count: int
+
+    def length(self) -> int:
+        return sum(b.length() for b in self.blocks)
+
+    def label_addresses(self) -> Dict[str, int]:
+        addresses: Dict[str, int] = {}
+        cursor = 0
+        for block in self.blocks:
+            addresses[block.label] = cursor
+            cursor += block.length()
+        return addresses
+
+
+class BusScheduler:
+    """Schedules an :class:`IrProgram` for a given processor instance."""
+
+    def __init__(self, processor: TacoProcessor):
+        self.processor = processor
+        self.bus_count = processor.bus_count
+
+    # -- public -------------------------------------------------------------------
+
+    def schedule(self, program: IrProgram) -> ScheduledProgram:
+        blocks = [self._schedule_block(b) for b in program.blocks]
+        return ScheduledProgram(blocks=blocks, bus_count=self.bus_count)
+
+    # -- per-block list scheduling ---------------------------------------------------
+
+    def _schedule_block(self, block: BasicBlock) -> ScheduledBlock:
+        cycles: List[List[Tuple[int, SymbolicMove]]] = []
+        # tracking state for dependence computation
+        last_port_write: Dict[Tuple[str, str], int] = {}
+        last_port_read: Dict[Tuple[str, str], int] = {}
+        last_trigger: Dict[str, int] = {}          # fu -> cycle
+        last_result_read: Dict[str, int] = {}      # fu -> cycle
+        last_memory_trigger = -1                   # cross-unit memory order
+        barrier_cycle = -1
+        max_scheduled = -1
+
+        def ensure_cycle(index: int) -> None:
+            while len(cycles) <= index:
+                cycles.append([])
+
+        for move in block.moves:
+            earliest = barrier_cycle + 1 if barrier_cycle >= 0 else 0
+            dest_fu, dest_port = self._resolve(move.destination)
+            is_trigger = dest_port.kind is PortKind.TRIGGER
+            is_control = move.destination.fu == CONTROL_FU
+
+            # source dependences
+            source = move.source if isinstance(move.source, PortRef) else None
+            if source is not None:
+                src_fu, src_port = self._resolve(source)
+                if src_port.kind is PortKind.RESULT:
+                    trigger_cycle = last_trigger.get(source.fu)
+                    if trigger_cycle is not None:
+                        earliest = max(earliest,
+                                       trigger_cycle + src_fu.latency)
+                else:  # register read-after-write
+                    write_cycle = last_port_write.get((source.fu, source.port))
+                    if write_cycle is not None:
+                        earliest = max(earliest, write_cycle + 1)
+
+            # guard depends on the trigger producing the bit
+            if move.guard is not None:
+                guard_fu = self.processor.fu(move.guard.fu)
+                trigger_cycle = last_trigger.get(move.guard.fu)
+                if trigger_cycle is not None:
+                    earliest = max(earliest, trigger_cycle + guard_fu.latency)
+
+            # destination hazards
+            dest_key = (move.destination.fu, move.destination.port)
+            write_cycle = last_port_write.get(dest_key)
+            if write_cycle is not None:  # WAW
+                earliest = max(earliest, write_cycle + 1)
+            read_cycle = last_port_read.get(dest_key)
+            if read_cycle is not None:  # WAR (same cycle is fine: reads first)
+                earliest = max(earliest, read_cycle)
+            if dest_port.kind is PortKind.OPERAND:
+                # Overwriting an operand latch the FU's previous trigger
+                # consumed must wait a cycle (avoids bus-order subtleties).
+                trigger_cycle = last_trigger.get(move.destination.fu)
+                if trigger_cycle is not None:
+                    earliest = max(earliest, trigger_cycle + 1)
+            if is_trigger:
+                # serialise triggers per FU; wait for operand writes (same
+                # cycle allowed, bus order guarantees visibility); wait for
+                # readers of the previous result
+                trigger_cycle = last_trigger.get(move.destination.fu)
+                if trigger_cycle is not None:
+                    earliest = max(earliest, trigger_cycle + 1)
+                for (fu_name, port_name), cycle in last_port_write.items():
+                    if fu_name == move.destination.fu:
+                        earliest = max(earliest, cycle)
+                result_read = last_result_read.get(move.destination.fu)
+                if result_read is not None:
+                    earliest = max(earliest, result_read)
+                # an operand consumed by the previous trigger may not be
+                # overwritten... (handled by WAW/WAR above for the port)
+            if is_control:
+                earliest = max(earliest, max_scheduled)
+            if is_trigger and dest_fu.kind in MEMORY_ORDERED_KINDS:
+                # Units that read/write data memory autonomously (mmu DMA
+                # peers) must observe each other's effects in program
+                # order. Same-cycle is safe: DMA ticks run after the whole
+                # write phase of a cycle.
+                earliest = max(earliest, last_memory_trigger)
+
+            cycle, bus = self._place(cycles, earliest, move)
+            ensure_cycle(cycle)
+            cycles[cycle].append((bus, move))
+            max_scheduled = max(max_scheduled, cycle)
+
+            # Update tracking. List scheduling is out-of-order in *time*
+            # (a later move can land at an earlier cycle), so every map
+            # must keep the maximum cycle seen, never the last one —
+            # otherwise a pending read/write at a later cycle would be
+            # forgotten and a hazard slipped past.
+            last_port_write[dest_key] = max(
+                last_port_write.get(dest_key, -1), cycle)
+            if source is not None:
+                source_key = (source.fu, source.port)
+                last_port_read[source_key] = max(
+                    last_port_read.get(source_key, -1), cycle)
+                src_fu2, src_port2 = self._resolve(source)
+                if src_port2.kind is PortKind.RESULT:
+                    last_result_read[source.fu] = max(
+                        last_result_read.get(source.fu, -1), cycle)
+            if is_trigger and not is_control:
+                last_trigger[move.destination.fu] = max(
+                    last_trigger.get(move.destination.fu, -1), cycle)
+                if dest_fu.kind in MEMORY_ORDERED_KINDS:
+                    last_memory_trigger = max(last_memory_trigger, cycle)
+            if is_control:
+                barrier_cycle = max(barrier_cycle, cycle)
+
+        return ScheduledBlock(label=block.label, cycles=cycles)
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _resolve(self, ref: PortRef):
+        return self.processor.resolve(ref)
+
+    def _place(self, cycles: List[List[Tuple[int, SymbolicMove]]],
+               earliest: int, move: SymbolicMove) -> Tuple[int, int]:
+        """Earliest (cycle, bus) with a free, connectivity-legal bus slot."""
+        source_ref = move.source if isinstance(move.source, PortRef) else None
+        cycle = max(earliest, 0)
+        while True:
+            occupied = {bus for bus, _ in cycles[cycle]} if cycle < len(cycles) else set()
+            for bus in range(self.bus_count):
+                if bus in occupied:
+                    continue
+                if self.processor.interconnect.allows(bus, source_ref,
+                                                      move.destination):
+                    return cycle, bus
+            cycle += 1
+            if cycle > 1_000_000:
+                raise AssemblyError(f"cannot place move {move}")
+
+
+def instructions_from_schedule(schedule: ScheduledProgram,
+                               labels: Optional[Dict[str, int]] = None
+                               ) -> List[Instruction]:
+    """Flatten a schedule into instruction bundles with labels resolved."""
+    if labels is None:
+        labels = schedule.label_addresses()
+    out: List[Instruction] = []
+    for block in schedule.blocks:
+        for cycle_moves in block.cycles:
+            slots: List[Optional[object]] = [None] * schedule.bus_count
+            for bus, symbolic in cycle_moves:
+                if slots[bus] is not None:
+                    raise AssemblyError(
+                        f"bus {bus} double-booked in block {block.label}")
+                slots[bus] = symbolic.resolved(labels)
+            out.append(Instruction(moves=tuple(slots)))  # type: ignore[arg-type]
+    return out

@@ -1,0 +1,160 @@
+"""``taco-explore``: command-line front end for the evaluation flows.
+
+Subcommands:
+
+* ``table1`` — regenerate the paper's Table 1 (all nine rows);
+* ``evaluate`` — evaluate one configuration;
+* ``explore`` — run the heuristic design-space explorer (future-work tool);
+* ``ripng`` — simulate RIPng convergence on a line/ring topology.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.dse import (
+    ArchitectureConfiguration,
+    DesignConstraints,
+    DesignSpace,
+    Evaluator,
+    GreedyExplorer,
+    generate_table1,
+    render_table1,
+    shape_checks,
+)
+from repro.ipv6.address import Ipv6Prefix
+from repro.router.network import line_topology, ring_topology
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "table1":
+        return _cmd_table1(args)
+    if args.command == "evaluate":
+        return _cmd_evaluate(args)
+    if args.command == "explore":
+        return _cmd_explore(args)
+    if args.command == "ripng":
+        return _cmd_ripng(args)
+    if args.command == "describe":
+        return _cmd_describe(args)
+    parser.print_help()
+    return 2
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="taco-explore",
+        description="TACO protocol-processor evaluation for IPv6 routing")
+    sub = parser.add_subparsers(dest="command")
+
+    table1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
+    table1.add_argument("--entries", type=int, default=100,
+                        help="routing table size (default 100)")
+    table1.add_argument("--packets", type=int, default=12,
+                        help="measurement batch size (default 12)")
+
+    ev = sub.add_parser("evaluate", help="evaluate one configuration")
+    ev.add_argument("--buses", type=int, default=1)
+    ev.add_argument("--fu-sets", type=int, default=1,
+                    help="matcher/counter/comparator count")
+    ev.add_argument("--table", default="sequential",
+                    choices=("sequential", "balanced-tree", "cam"))
+    ev.add_argument("--entries", type=int, default=100)
+
+    ex = sub.add_parser("explore", help="heuristic design-space exploration")
+    ex.add_argument("--max-power", type=float, default=None,
+                    help="power budget in watts")
+    ex.add_argument("--max-area", type=float, default=None,
+                    help="area budget in mm^2")
+
+    rip = sub.add_parser("ripng", help="RIPng convergence simulation")
+    rip.add_argument("--topology", choices=("line", "ring"), default="line")
+    rip.add_argument("--routers", type=int, default=4)
+
+    desc = sub.add_parser(
+        "describe", help="emit an instance's top-level description")
+    desc.add_argument("--buses", type=int, default=3)
+    desc.add_argument("--fu-sets", type=int, default=1)
+    desc.add_argument("--table", default="cam",
+                      choices=("sequential", "balanced-tree", "cam"))
+    desc.add_argument("--format", dest="fmt", default="text",
+                      choices=("text", "dot"))
+    return parser
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    evaluator = Evaluator(table_entries=args.entries,
+                          packet_batch=args.packets)
+    rows = generate_table1(evaluator)
+    print(render_table1(rows))
+    violations = shape_checks(rows)
+    if violations:
+        print("\nshape violations:")
+        for violation in violations:
+            print(f"  - {violation}")
+        return 1
+    print("\nall qualitative shape checks passed")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    config = ArchitectureConfiguration(
+        bus_count=args.buses, matchers=args.fu_sets,
+        counters=args.fu_sets, comparators=args.fu_sets,
+        table_kind=args.table)
+    evaluator = Evaluator(table_entries=args.entries)
+    print(evaluator.evaluate(config).summary())
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    constraints = DesignConstraints(max_area_mm2=args.max_area,
+                                    max_power_w=args.max_power)
+    explorer = GreedyExplorer(Evaluator(), constraints)
+    outcome = explorer.explore(DesignSpace())
+    print(f"evaluations used: {outcome.evaluations_used}")
+    if outcome.best is None:
+        print("no configuration satisfies the constraints")
+        return 1
+    print(f"selected: {outcome.best.summary()}")
+    return 0
+
+
+def _cmd_ripng(args: argparse.Namespace) -> int:
+    if args.topology == "line":
+        network = line_topology(args.routers)
+    else:
+        network = ring_topology(args.routers)
+    report = network.run_until_converged()
+    print(f"{args.topology} of {args.routers}: converged={report.converged} "
+          f"in {report.rounds} rounds, "
+          f"{report.messages_delivered} datagrams exchanged")
+    probe = Ipv6Prefix.parse("2001:db8:0:1::/64")
+    for name in network.routers:
+        print(f"  {name}: metric to {probe} = "
+              f"{network.route_metric(name, probe)}")
+    return 0 if report.converged else 1
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    from repro.programs.machine import build_machine
+    from repro.reporting import describe_machine, to_dot
+
+    config = ArchitectureConfiguration(
+        bus_count=args.buses, matchers=args.fu_sets,
+        counters=args.fu_sets, comparators=args.fu_sets,
+        table_kind=args.table)
+    machine = build_machine(config)
+    if args.fmt == "dot":
+        print(to_dot(machine), end="")
+    else:
+        print(describe_machine(machine), end="")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

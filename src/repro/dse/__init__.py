@@ -1,0 +1,33 @@
+"""Design-space exploration: configurations, evaluation, Table 1, search."""
+
+from repro.dse.config import (
+    ArchitectureConfiguration,
+    PAPER_CONFIGURATIONS,
+    paper_configurations,
+)
+from repro.dse.evaluator import EvaluationResult, Evaluator
+from repro.dse.explorer import (
+    ExhaustiveExplorer,
+    ExplorationOutcome,
+    GreedyExplorer,
+)
+from repro.dse.pareto import DesignConstraints, pareto_front, select_best
+from repro.dse.space import DesignSpace, paper_space
+from repro.dse.table1 import (
+    PAPER_TABLE1,
+    Table1Row,
+    generate_table1,
+    render_table1,
+    shape_checks,
+)
+
+__all__ = [
+    "ArchitectureConfiguration", "PAPER_CONFIGURATIONS",
+    "paper_configurations",
+    "EvaluationResult", "Evaluator",
+    "ExhaustiveExplorer", "ExplorationOutcome", "GreedyExplorer",
+    "DesignConstraints", "pareto_front", "select_best",
+    "DesignSpace", "paper_space",
+    "PAPER_TABLE1", "Table1Row", "generate_table1", "render_table1",
+    "shape_checks",
+]

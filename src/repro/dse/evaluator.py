@@ -1,0 +1,161 @@
+"""Evaluate one architecture instance: simulate + estimate + co-analyse.
+
+This is one turn of the paper's Y-chart loop (§1.1, §2): simulate the
+tuned application on the instance (cycle count, bus utilisation), derive
+the minimum clock from the throughput constraint, then estimate area and
+power at that clock. Configurations whose required clock exceeds the
+0.18 µm library limit get no physical estimate — the paper's "NA" rows.
+
+The CAM option needs a fixed point: the CAM's 40 ns search occupies more
+*cycles* at higher clocks, and more cycles raise the required clock. We
+iterate latency → simulate → clock → latency until stable (it converges in
+a handful of rounds because latency enters cycles additively).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.dse.config import ArchitectureConfiguration
+from repro.errors import SimulationError
+from repro.estimation.area import AreaBreakdown, estimate_area
+from repro.estimation.frequency import ThroughputConstraint
+from repro.estimation.power import PowerBreakdown, estimate_power
+from repro.estimation.technology import MAX_CLOCK_HZ
+from repro.programs.runner import ForwardingRunResult, run_forwarding
+from repro.routing.cam import CAM_SEARCH_TIME_NS
+from repro.routing.entry import RouteEntry
+from repro.workload import generate_routes, worst_case_workload
+
+DEFAULT_PACKET_BATCH = 12
+_MAX_FIXED_POINT_ROUNDS = 12
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Everything Table 1 reports about one configuration."""
+
+    config: ArchitectureConfiguration
+    cycles_per_packet: float
+    bus_utilization: float
+    required_clock_hz: float
+    feasible: bool
+    area: Optional[AreaBreakdown]
+    power: Optional[PowerBreakdown]
+    run: ForwardingRunResult
+
+    @property
+    def area_mm2(self) -> Optional[float]:
+        return self.area.total_mm2 if self.area else None
+
+    @property
+    def power_w(self) -> Optional[float]:
+        return self.power.processor_w if self.power else None
+
+    @property
+    def system_power_w(self) -> Optional[float]:
+        return self.power.system_w if self.power else None
+
+    def energy_per_packet_nj(self, packet_rate_pps: float) -> Optional[float]:
+        """System energy per forwarded datagram in nanojoules.
+
+        The natural figure of merit for comparing feasible designs: at a
+        fixed line rate, power divides out into joules per datagram.
+        """
+        if self.power is None or packet_rate_pps <= 0:
+            return None
+        return self.power.system_w / packet_rate_pps * 1e9
+
+    def summary(self) -> str:
+        clock = f"{self.required_clock_hz / 1e9:.2f} GHz" \
+            if self.required_clock_hz >= 1e9 \
+            else f"{self.required_clock_hz / 1e6:.0f} MHz"
+        area = f"{self.area_mm2:.1f} mm2" if self.area else "NA"
+        power = f"{self.power_w:.2f} W" if self.power else "NA"
+        return (f"{self.config.describe()}: {clock} required "
+                f"({self.cycles_per_packet:.0f} cyc/pkt, "
+                f"bus {self.bus_utilization * 100:.0f}%), {area}, {power}")
+
+
+class Evaluator:
+    """Evaluates configurations against one workload + constraint."""
+
+    def __init__(self, routes: Optional[Sequence[RouteEntry]] = None,
+                 packets: Optional[Sequence[Tuple[int, bytes]]] = None,
+                 constraint: Optional[ThroughputConstraint] = None,
+                 packet_batch: int = DEFAULT_PACKET_BATCH,
+                 table_entries: int = 100):
+        self.routes = list(routes) if routes is not None else \
+            generate_routes(table_entries)
+        self.packets = list(packets) if packets is not None else \
+            worst_case_workload(self.routes, packet_batch)
+        self.constraint = constraint or ThroughputConstraint()
+        self.evaluations = 0
+
+    # -- public -------------------------------------------------------------------
+
+    def evaluate(self, config: ArchitectureConfiguration) -> EvaluationResult:
+        if config.table_kind == "cam":
+            run, config = self._run_cam_fixed_point(config)
+        else:
+            run = self._run(config)
+        if not run.correct:
+            raise SimulationError(
+                f"functional mismatch on {config.describe()}: "
+                f"{run.mismatches}")
+        cycles = run.cycles_per_packet
+        clock = self.constraint.required_clock(cycles)
+        feasible = clock <= MAX_CLOCK_HZ
+        area = power = None
+        if feasible:
+            # The paper did not estimate configurations beyond the library
+            # limit ("NA ... due to its high clock frequency requirement").
+            area = estimate_area(
+                config, clock,
+                program_store_kbyte=self._program_store_kbyte(run))
+            power = estimate_power(config, clock,
+                                   bus_utilization=run.bus_utilization,
+                                   area=area)
+        return EvaluationResult(
+            config=config, cycles_per_packet=cycles,
+            bus_utilization=run.bus_utilization,
+            required_clock_hz=clock, feasible=feasible,
+            area=area, power=power, run=run)
+
+    def evaluate_all(self, configs: Sequence[ArchitectureConfiguration]
+                     ) -> List[EvaluationResult]:
+        return [self.evaluate(c) for c in configs]
+
+    # -- internals --------------------------------------------------------------------
+
+    def _run(self, config: ArchitectureConfiguration) -> ForwardingRunResult:
+        self.evaluations += 1
+        return run_forwarding(config, self.routes, self.packets)
+
+    @staticmethod
+    def _program_store_kbyte(run: ForwardingRunResult) -> float:
+        """Exact instruction-memory footprint of the tuned program."""
+        if run.machine is None or run.program_length == 0:
+            return 1.0
+        from repro.asm.encoding import EncodingScheme
+        scheme = EncodingScheme.for_processor(run.machine.processor)
+        return scheme.program_bytes(run.program_length) / 1024.0
+
+    def _run_cam_fixed_point(self, config: ArchitectureConfiguration
+                             ) -> Tuple[ForwardingRunResult,
+                                        ArchitectureConfiguration]:
+        latency = 1
+        run = None
+        for _ in range(_MAX_FIXED_POINT_ROUNDS):
+            candidate = config.with_cam_latency(latency)
+            run = self._run(candidate)
+            clock = self.constraint.required_clock(run.cycles_per_packet)
+            next_latency = max(
+                1, math.ceil(CAM_SEARCH_TIME_NS * 1e-9 * clock))
+            if next_latency == latency:
+                return run, candidate
+            latency = next_latency
+        assert run is not None
+        return run, config.with_cam_latency(latency)

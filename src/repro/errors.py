@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the failing subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class Ipv6Error(ReproError):
+    """Malformed IPv6 address, header, or datagram."""
+
+
+class ChecksumError(Ipv6Error):
+    """A transport checksum failed verification."""
+
+
+class RipngError(Ipv6Error):
+    """Malformed or semantically invalid RIPng message."""
+
+
+class RoutingTableError(ReproError):
+    """Invalid routing-table operation (bad prefix, capacity exceeded...)."""
+
+
+class TtaError(ReproError):
+    """Errors in the TTA processor model (bad port, structural hazard...)."""
+
+
+class AssemblyError(ReproError):
+    """Errors while parsing, scheduling, or encoding TACO assembly."""
+
+
+class ProgramError(TtaError):
+    """A generated TACO program misbehaved during simulation."""
+
+
+class EstimationError(ReproError):
+    """Physical estimation was asked for an unsupported operating point."""
+
+
+class ConfigurationError(ReproError):
+    """An architecture configuration is structurally invalid."""
+
+
+class SimulationError(TtaError):
+    """The cycle-accurate simulation detected an inconsistency."""

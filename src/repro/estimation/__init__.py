@@ -1,0 +1,24 @@
+"""System-level physical estimation (the paper's Matlab-model role)."""
+
+from repro.estimation.area import AreaBreakdown, estimate_area
+from repro.estimation.frequency import (
+    CALIBRATION_PACKET_BYTES,
+    LINE_RATE_BPS,
+    ThroughputConstraint,
+    packet_rate,
+    required_clock_hz,
+)
+from repro.estimation.power import PowerBreakdown, estimate_power
+from repro.estimation.technology import (
+    MAX_CLOCK_HZ,
+    feasible,
+    gate_sizing_factor,
+)
+
+__all__ = [
+    "AreaBreakdown", "estimate_area",
+    "PowerBreakdown", "estimate_power",
+    "ThroughputConstraint", "packet_rate", "required_clock_hz",
+    "CALIBRATION_PACKET_BYTES", "LINE_RATE_BPS",
+    "MAX_CLOCK_HZ", "feasible", "gate_sizing_factor",
+]

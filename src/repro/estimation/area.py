@@ -1,0 +1,96 @@
+"""Silicon-area model for TACO architecture instances.
+
+Mirrors the role of the paper's Matlab model: given an architecture
+configuration and an operating clock, estimate the processor die area.
+Components: functional units, the register file, the interconnection
+network (buses + sockets), on-chip memories, all inflated by the
+gate-sizing factor the target clock demands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.dse.config import ArchitectureConfiguration
+from repro.estimation import technology as tech
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Per-component area in mm² (already sized for the clock)."""
+
+    functional_units: float
+    register_file: float
+    interconnect: float
+    memory: float
+    sizing_factor: float
+
+    @property
+    def total_mm2(self) -> float:
+        return (self.functional_units + self.register_file
+                + self.interconnect + self.memory)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "functional_units": self.functional_units,
+            "register_file": self.register_file,
+            "interconnect": self.interconnect,
+            "memory": self.memory,
+            "total": self.total_mm2,
+        }
+
+
+#: always-present infrastructure units (one each): mmu, rtu, ippu, oppu,
+#: liu, and the network controller
+_INFRASTRUCTURE_KINDS = ("mmu", "rtu", "ippu", "oppu", "liu", "nc")
+
+#: on-chip table cache for the sequential/tree options: 100 entries at a
+#: 64-byte stride (the RTU image), in kilobytes
+TABLE_CACHE_KBYTE = 6.4
+
+#: datagram buffer memory kept on chip (slot pool working set)
+BUFFER_KBYTE = 16.0
+
+
+def estimate_area(config: ArchitectureConfiguration, clock_hz: float,
+                  program_store_kbyte: float = 1.0) -> AreaBreakdown:
+    """Die-area estimate at the given operating clock.
+
+    *program_store_kbyte* is the instruction-memory footprint; the
+    evaluator passes the exact size of the encoded forwarding program
+    (see :mod:`repro.asm.encoding`), defaulting to a nominal 1 KiB.
+    """
+    sizing = tech.gate_sizing_factor(clock_hz)
+
+    fu_area = 0.0
+    fu_count = 0
+    for kind, count in config.fu_counts().items():
+        fu_area += tech.FU_AREA_MM2[kind] * count
+        fu_count += count
+    for kind in _INFRASTRUCTURE_KINDS:
+        fu_area += tech.FU_AREA_MM2[kind]
+        fu_count += 1
+
+    register_area = tech.GPR_AREA_MM2_PER_REGISTER * config.gpr_registers
+
+    # every FU (plus the register file) attaches a socket to every bus
+    sockets = (fu_count + 1) * config.bus_count
+    interconnect = (tech.BUS_AREA_MM2 * config.bus_count
+                    + tech.SOCKET_AREA_MM2 * sockets)
+
+    memory_kb = BUFFER_KBYTE + max(program_store_kbyte, 0.0)
+    if config.table_kind in ("sequential", "balanced-tree"):
+        memory_kb += TABLE_CACHE_KBYTE
+    # CAM option: the CAM+SRAM pair is an external chip; the paper's Table 1
+    # explicitly excludes it ("the CAM estimates do not include the area and
+    # power used by the CAM chip"), and so do we here.
+    memory = tech.SRAM_MM2_PER_KBYTE * memory_kb
+
+    return AreaBreakdown(
+        functional_units=fu_area * sizing,
+        register_file=register_area * sizing,
+        interconnect=interconnect * sizing,
+        memory=memory,  # SRAM compiles at fixed density; no gate upsizing
+        sizing_factor=sizing,
+    )

@@ -1,0 +1,69 @@
+"""Average-power model for TACO architecture instances.
+
+``P = density · active_area · f · activity + leakage``, with the area
+already inflated by the gate-sizing factor — which is precisely why the
+paper's 1 GHz sequential configuration came out with unacceptable power:
+"The high power consumption follows from the fact that larger gate sizes
+had to be used in order to reach the 1 GHz clock speed" (§4).
+
+Utilisation feeds the activity factor: a bus that carries a move toggles;
+an idle slot mostly doesn't. The simulator's measured bus utilisation
+therefore modulates dynamic power, as the paper's co-analysis implies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dse.config import ArchitectureConfiguration
+from repro.estimation import technology as tech
+from repro.estimation.area import AreaBreakdown, estimate_area
+from repro.routing.cam import CamPhysicalModel
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Average power in watts at the operating point."""
+
+    dynamic_w: float
+    leakage_w: float
+    #: external CAM+SRAM chip, reported separately (excluded from the
+    #: TACO column of Table 1, included in system-level totals)
+    external_cam_w: float
+
+    @property
+    def processor_w(self) -> float:
+        return self.dynamic_w + self.leakage_w
+
+    @property
+    def system_w(self) -> float:
+        return self.processor_w + self.external_cam_w
+
+
+def estimate_power(config: ArchitectureConfiguration, clock_hz: float,
+                   bus_utilization: float = 1.0,
+                   area: Optional[AreaBreakdown] = None,
+                   cam: Optional[CamPhysicalModel] = None) -> PowerBreakdown:
+    """Average power at *clock_hz* with the measured *bus_utilization*."""
+    if not 0.0 <= bus_utilization <= 1.0:
+        raise ValueError(f"bus utilisation out of range: {bus_utilization}")
+    if area is None:
+        area = estimate_area(config, clock_hz)
+
+    # Activity: datapath logic toggles with the transported data. Scale
+    # the nominal activity by how busy the transport network actually is
+    # (the floor keeps clock trees and control alive even when idle).
+    activity = tech.DEFAULT_ACTIVITY * (0.4 + 0.6 * bus_utilization)
+    dynamic = (tech.POWER_DENSITY_W_PER_MM2_GHZ
+               * area.total_mm2
+               * (clock_hz / 1e9)
+               * activity / tech.DEFAULT_ACTIVITY)
+    leakage = tech.LEAKAGE_W_PER_MM2 * area.total_mm2
+
+    external = 0.0
+    if config.table_kind == "cam":
+        model = cam or CamPhysicalModel()
+        external = model.power_at(clock_hz / 1e6)
+    return PowerBreakdown(dynamic_w=dynamic, leakage_w=leakage,
+                          external_cam_w=external)

@@ -1,0 +1,94 @@
+"""0.18 µm standard-cell technology constants and calibration targets.
+
+The paper's physical numbers come from a proprietary Matlab estimation
+model [8] driven by a 0.18 µm standard-cell library; neither is public.
+This module is the single home of every technology constant we use in its
+place, calibrated so the paper's qualitative anchors hold:
+
+* "the upper limit for TACO clock frequencies using this technology is
+  near 1 GHz" — :data:`MAX_CLOCK_HZ`;
+* reaching clocks near the limit requires "larger gate sizes", inflating
+  area and power — :func:`gate_sizing_factor`;
+* the 1 GHz sequential configuration burns clearly unacceptable power,
+  the 250–600 MHz tree configurations are borderline, and the sub-120 MHz
+  CAM configurations are cheap — the power-density constant;
+* the Micron Harmony 1 Mb CAM dissipates 1.5–2 W at 133 MHz (modelled in
+  :class:`repro.routing.cam.CamPhysicalModel`).
+
+Every constant is an engineering estimate, not a library datum; the
+reproduction's claims rest on the *relative* picture.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import EstimationError
+
+#: process feature size, for reports
+FEATURE_SIZE_UM = 0.18
+
+#: achievable clock ceiling for TACO logic in this library (paper §4)
+MAX_CLOCK_HZ = 1.05e9
+
+#: switching power density of active standard-cell logic, W per mm² per
+#: GHz at nominal supply (0.18 µm, 1.8 V class designs)
+POWER_DENSITY_W_PER_MM2_GHZ = 0.45
+
+#: leakage is negligible at 0.18 µm but kept nonzero for completeness
+LEAKAGE_W_PER_MM2 = 0.002
+
+#: base cell area per functional unit type, mm² at relaxed timing.
+#: Scaled from the TACO physical-characterisation work's order of
+#: magnitude (a few mm² for a complete small processor).
+FU_AREA_MM2: Dict[str, float] = {
+    "matcher": 0.32,
+    "comparator": 0.24,
+    "counter": 0.38,
+    "shifter": 0.42,
+    "masker": 0.28,
+    "checksum": 0.30,
+    "mmu": 0.55,
+    "rtu": 0.50,
+    "ippu": 0.65,
+    "oppu": 0.65,
+    "liu": 0.15,
+    "nc": 0.45,
+}
+
+#: register file: per-register area (32-bit, two ports)
+GPR_AREA_MM2_PER_REGISTER = 0.012
+
+#: interconnection network: per-bus backbone plus per-socket attach cost
+BUS_AREA_MM2 = 0.22
+SOCKET_AREA_MM2 = 0.06
+
+#: on-chip SRAM density (data memory, sequential routing-table cache)
+SRAM_MM2_PER_KBYTE = 0.085
+
+#: activity factor: fraction of logic toggling in a typical cycle
+DEFAULT_ACTIVITY = 0.35
+
+
+def gate_sizing_factor(clock_hz: float,
+                       max_clock_hz: float = MAX_CLOCK_HZ) -> float:
+    """Area/power inflation from gate upsizing at aggressive clocks.
+
+    Near the library limit, meeting timing requires exponentially larger
+    drive strengths; we model the blow-up as ``1 + a·x² + b·x⁸`` with
+    ``x = f/f_max`` — flat below ~40 % of the limit, about 1.6× at 80 %,
+    and ~3.2× at the limit, diverging steeply beyond it.
+    """
+    if clock_hz <= 0:
+        raise EstimationError(f"clock must be positive: {clock_hz}")
+    x = clock_hz / max_clock_hz
+    if x > 1.0:
+        raise EstimationError(
+            f"clock {clock_hz / 1e9:.2f} GHz exceeds the {FEATURE_SIZE_UM} µm "
+            f"library limit ({max_clock_hz / 1e9:.2f} GHz)")
+    return 1.0 + 1.1 * x ** 2 + 1.1 * x ** 8
+
+
+def feasible(clock_hz: float, max_clock_hz: float = MAX_CLOCK_HZ) -> bool:
+    """Can this library reach *clock_hz* at all?"""
+    return 0 < clock_hz <= max_clock_hz

@@ -1,0 +1,50 @@
+"""IPv6 protocol substrate: addresses, datagrams, UDP, ICMPv6, and RIPng.
+
+This subpackage is a from-scratch implementation of the protocol machinery
+the paper's router manipulates. It is pure data-plane code — the TACO
+processor model in :mod:`repro.tta` operates on the byte images these
+classes produce.
+"""
+
+from repro.ipv6.address import Ipv6Address, Ipv6Prefix, prefix_mask
+from repro.ipv6.checksum import (
+    internet_checksum,
+    ones_complement_sum,
+    transport_checksum,
+    verify_transport_checksum,
+)
+from repro.ipv6.header import (
+    BASE_HEADER_BYTES,
+    PROTO_HOP_BY_HOP,
+    PROTO_ICMPV6,
+    PROTO_NO_NEXT_HEADER,
+    PROTO_TCP,
+    PROTO_UDP,
+    ExtensionHeader,
+    Ipv6Header,
+)
+from repro.ipv6.icmpv6 import Icmpv6Message, destination_unreachable, time_exceeded
+from repro.ipv6.packet import Ipv6Datagram, ValidationFailure, validate_for_forwarding
+from repro.ipv6.ripng import (
+    RIPNG_MULTICAST_GROUP,
+    RIPNG_PORT,
+    METRIC_INFINITY,
+    NextHopEntry,
+    RipngMessage,
+    RouteTableEntry,
+)
+from repro.ipv6.udp import UdpDatagram
+
+__all__ = [
+    "Ipv6Address", "Ipv6Prefix", "prefix_mask",
+    "internet_checksum", "ones_complement_sum",
+    "transport_checksum", "verify_transport_checksum",
+    "BASE_HEADER_BYTES", "PROTO_HOP_BY_HOP", "PROTO_ICMPV6",
+    "PROTO_NO_NEXT_HEADER", "PROTO_TCP", "PROTO_UDP",
+    "ExtensionHeader", "Ipv6Header",
+    "Icmpv6Message", "destination_unreachable", "time_exceeded",
+    "Ipv6Datagram", "ValidationFailure", "validate_for_forwarding",
+    "RIPNG_MULTICAST_GROUP", "RIPNG_PORT", "METRIC_INFINITY",
+    "NextHopEntry", "RipngMessage", "RouteTableEntry",
+    "UdpDatagram",
+]

@@ -1,0 +1,169 @@
+"""IPv6 base header and extension headers (RFC 2460).
+
+The base header is the fixed 40-byte structure every datagram starts with.
+Extension headers are the reason the paper's router copies the *entire*
+datagram into processor memory: "in IPv6 the IP header can be accompanied by
+a variable number of extension headers that also have to be taken into
+consideration" (§3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import Ipv6Error
+from repro.ipv6.address import Ipv6Address
+
+IPV6_VERSION = 6
+BASE_HEADER_BYTES = 40
+
+# IANA protocol numbers used in this library.
+PROTO_HOP_BY_HOP = 0
+PROTO_TCP = 6
+PROTO_UDP = 17
+PROTO_ROUTING = 43
+PROTO_FRAGMENT = 44
+PROTO_ICMPV6 = 58
+PROTO_NO_NEXT_HEADER = 59
+PROTO_DESTINATION_OPTIONS = 60
+
+EXTENSION_HEADER_PROTOCOLS = frozenset({
+    PROTO_HOP_BY_HOP, PROTO_ROUTING, PROTO_FRAGMENT, PROTO_DESTINATION_OPTIONS,
+})
+
+
+@dataclass(frozen=True)
+class Ipv6Header:
+    """The fixed IPv6 base header."""
+
+    source: Ipv6Address
+    destination: Ipv6Address
+    payload_length: int
+    next_header: int
+    hop_limit: int
+    traffic_class: int = 0
+    flow_label: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.payload_length <= 0xFFFF:
+            raise Ipv6Error(f"payload length out of range: {self.payload_length}")
+        if not 0 <= self.next_header <= 0xFF:
+            raise Ipv6Error(f"next header out of range: {self.next_header}")
+        if not 0 <= self.hop_limit <= 0xFF:
+            raise Ipv6Error(f"hop limit out of range: {self.hop_limit}")
+        if not 0 <= self.traffic_class <= 0xFF:
+            raise Ipv6Error(f"traffic class out of range: {self.traffic_class}")
+        if not 0 <= self.flow_label <= 0xFFFFF:
+            raise Ipv6Error(f"flow label out of range: {self.flow_label}")
+
+    def to_bytes(self) -> bytes:
+        first_word = ((IPV6_VERSION << 28)
+                      | (self.traffic_class << 20)
+                      | self.flow_label)
+        return (first_word.to_bytes(4, "big")
+                + self.payload_length.to_bytes(2, "big")
+                + bytes([self.next_header, self.hop_limit])
+                + self.source.to_bytes()
+                + self.destination.to_bytes())
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Ipv6Header":
+        if len(data) < BASE_HEADER_BYTES:
+            raise Ipv6Error(f"truncated IPv6 header: {len(data)} bytes")
+        first_word = int.from_bytes(data[0:4], "big")
+        version = first_word >> 28
+        if version != IPV6_VERSION:
+            raise Ipv6Error(f"not an IPv6 datagram (version {version})")
+        return cls(
+            traffic_class=(first_word >> 20) & 0xFF,
+            flow_label=first_word & 0xFFFFF,
+            payload_length=int.from_bytes(data[4:6], "big"),
+            next_header=data[6],
+            hop_limit=data[7],
+            source=Ipv6Address.from_bytes(data[8:24]),
+            destination=Ipv6Address.from_bytes(data[24:40]),
+        )
+
+    def with_hop_limit(self, hop_limit: int) -> "Ipv6Header":
+        """A copy with the hop limit replaced (the forwarding update)."""
+        return Ipv6Header(
+            source=self.source, destination=self.destination,
+            payload_length=self.payload_length, next_header=self.next_header,
+            hop_limit=hop_limit, traffic_class=self.traffic_class,
+            flow_label=self.flow_label,
+        )
+
+
+@dataclass(frozen=True)
+class ExtensionHeader:
+    """A generic TLV-style extension header.
+
+    All RFC 2460 extension headers except Fragment share the layout
+    ``next_header (1) | hdr_ext_len (1) | data (6 + 8*hdr_ext_len)``;
+    we model that shape and validate the length arithmetic.
+    """
+
+    protocol: int
+    next_header: int
+    data: bytes = field(default=b"")
+
+    def __post_init__(self) -> None:
+        if self.protocol not in EXTENSION_HEADER_PROTOCOLS:
+            raise Ipv6Error(f"not an extension-header protocol: {self.protocol}")
+        if not 0 <= self.next_header <= 0xFF:
+            raise Ipv6Error(f"next header out of range: {self.next_header}")
+        if (len(self.data) + 2) % 8 != 0:
+            raise Ipv6Error(
+                f"extension header body must pad to a multiple of 8 bytes, "
+                f"got {len(self.data) + 2}"
+            )
+        if len(self.data) + 2 > 8 * 256:
+            raise Ipv6Error("extension header too long")
+
+    @classmethod
+    def padded(cls, protocol: int, next_header: int, data: bytes = b"") -> "ExtensionHeader":
+        """Build with PadN-style zero padding up to the 8-byte boundary."""
+        total = len(data) + 2
+        pad = (-total) % 8
+        return cls(protocol=protocol, next_header=next_header, data=data + b"\x00" * pad)
+
+    @property
+    def length_octets(self) -> int:
+        return len(self.data) + 2
+
+    def to_bytes(self) -> bytes:
+        hdr_ext_len = (len(self.data) + 2) // 8 - 1
+        return bytes([self.next_header, hdr_ext_len]) + self.data
+
+    @classmethod
+    def from_bytes(cls, protocol: int, data: bytes) -> Tuple["ExtensionHeader", int]:
+        """Parse one extension header; returns (header, bytes consumed)."""
+        if len(data) < 2:
+            raise Ipv6Error("truncated extension header")
+        next_header = data[0]
+        total = (data[1] + 1) * 8
+        if len(data) < total:
+            raise Ipv6Error(f"extension header needs {total} bytes, have {len(data)}")
+        return cls(protocol=protocol, next_header=next_header,
+                   data=bytes(data[2:total])), total
+
+
+def walk_extension_headers(first_protocol: int,
+                           payload: bytes) -> Tuple[List[ExtensionHeader], int, int]:
+    """Walk the extension-header chain at the front of a payload.
+
+    Returns ``(headers, final_protocol, offset)`` where *offset* is where the
+    upper-layer payload begins and *final_protocol* identifies it.
+    """
+    headers: List[ExtensionHeader] = []
+    protocol = first_protocol
+    offset = 0
+    while protocol in EXTENSION_HEADER_PROTOCOLS:
+        header, consumed = ExtensionHeader.from_bytes(protocol, payload[offset:])
+        headers.append(header)
+        offset += consumed
+        protocol = header.next_header
+        if len(headers) > 16:
+            raise Ipv6Error("extension header chain too long (>16)")
+    return headers, protocol, offset

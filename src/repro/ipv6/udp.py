@@ -1,0 +1,65 @@
+"""UDP over IPv6 (RFC 768 + RFC 2460 §8.1). RIPng rides on UDP port 521."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ChecksumError, Ipv6Error
+from repro.ipv6.address import Ipv6Address
+from repro.ipv6.checksum import transport_checksum, verify_transport_checksum
+from repro.ipv6.header import PROTO_UDP
+
+UDP_HEADER_BYTES = 8
+
+
+@dataclass(frozen=True)
+class UdpDatagram:
+    """A UDP datagram (ports + payload); checksum handled at encode time."""
+
+    source_port: int
+    destination_port: int
+    payload: bytes = b""
+
+    def __post_init__(self) -> None:
+        for name, port in (("source", self.source_port),
+                           ("destination", self.destination_port)):
+            if not 0 <= port <= 0xFFFF:
+                raise Ipv6Error(f"{name} port out of range: {port}")
+        if UDP_HEADER_BYTES + len(self.payload) > 0xFFFF:
+            raise Ipv6Error("UDP payload too long")
+
+    @property
+    def length(self) -> int:
+        return UDP_HEADER_BYTES + len(self.payload)
+
+    def to_bytes(self, source: Ipv6Address, destination: Ipv6Address) -> bytes:
+        """Encode with the mandatory (for IPv6) UDP checksum filled in."""
+        without_checksum = (self.source_port.to_bytes(2, "big")
+                            + self.destination_port.to_bytes(2, "big")
+                            + self.length.to_bytes(2, "big")
+                            + b"\x00\x00"
+                            + self.payload)
+        checksum = transport_checksum(source, destination, PROTO_UDP, without_checksum)
+        return without_checksum[:6] + checksum.to_bytes(2, "big") + without_checksum[8:]
+
+    @classmethod
+    def from_bytes(cls, data: bytes, source: Ipv6Address,
+                   destination: Ipv6Address, verify: bool = True) -> "UdpDatagram":
+        if len(data) < UDP_HEADER_BYTES:
+            raise Ipv6Error(f"truncated UDP header: {len(data)} bytes")
+        length = int.from_bytes(data[4:6], "big")
+        if length < UDP_HEADER_BYTES or length > len(data):
+            raise Ipv6Error(f"bad UDP length field: {length}")
+        checksum = int.from_bytes(data[6:8], "big")
+        if verify:
+            if checksum == 0:
+                # RFC 2460 §8.1: a zero UDP checksum is illegal under IPv6.
+                raise ChecksumError("UDP checksum of zero is invalid over IPv6")
+            if not verify_transport_checksum(source, destination, PROTO_UDP,
+                                             data[:length]):
+                raise ChecksumError("UDP checksum verification failed")
+        return cls(
+            source_port=int.from_bytes(data[0:2], "big"),
+            destination_port=int.from_bytes(data[2:4], "big"),
+            payload=bytes(data[UDP_HEADER_BYTES:length]),
+        )

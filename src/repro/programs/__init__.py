@@ -1,0 +1,30 @@
+"""TACO application programs: the tuned per-instance forwarding code."""
+
+from repro.programs.cycle_model import (
+    FittedCycleModel,
+    crossover_entries,
+    fit_cycle_model,
+    fit_paper_models,
+    measure_cycles,
+)
+from repro.programs.forwarding import (
+    ForwardingProgramFactory,
+    MODE_BENCH,
+    MODE_ROUTER,
+    build_forwarding_program,
+)
+from repro.programs.machine import RouterMachine, build_machine
+from repro.programs.runner import (
+    ForwardingRunResult,
+    expected_forwarding,
+    run_forwarding,
+)
+
+__all__ = [
+    "FittedCycleModel", "crossover_entries", "fit_cycle_model",
+    "fit_paper_models", "measure_cycles",
+    "ForwardingProgramFactory", "MODE_BENCH", "MODE_ROUTER",
+    "build_forwarding_program",
+    "RouterMachine", "build_machine",
+    "ForwardingRunResult", "expected_forwarding", "run_forwarding",
+]

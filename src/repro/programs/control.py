@@ -1,0 +1,116 @@
+"""Control-plane TACO program: UDP checksum verification for RIPng.
+
+The router terminates RIPng traffic, and UDP over IPv6 carries a
+mandatory checksum over a pseudo-header (RFC 2460 §8.1) — this is what
+the Checksum functional unit in the paper's architecture (Fig. 2) is
+for. The program generated here verifies a received datagram entirely on
+the processor: it folds the pseudo-header (source, destination,
+upper-layer length, protocol) and every payload word through the
+Checksum unit and leaves the verdict in a register. The slow path then
+only parses RTEs from datagrams that already passed.
+
+Assumes the datagram has no extension headers (RIPng datagrams don't),
+so the UDP length equals the IPv6 payload length.
+
+Register results: r5 = 1 if the checksum verified else 0; r6 = the final
+ones'-complement accumulator (0xFFFF when valid).
+"""
+
+from __future__ import annotations
+
+from repro.asm.assembler import assemble
+from repro.asm.ir import ProgramBuilder
+from repro.programs.machine import RouterMachine
+from repro.tta.memory import ProgramMemory
+from repro.tta.ports import Guard, PortRef
+from repro.tta.simulator import simulate
+
+P = PortRef
+
+#: LIU word the program reads the datagram slot pointer from
+SLOT_POINTER_INDEX = 0
+
+PROTO_UDP = 17
+
+
+def build_checksum_program(machine: RouterMachine) -> ProgramMemory:
+    """Generate the UDP-verification program for *machine*."""
+    b = ProgramBuilder()
+
+    b.block("start")
+    # slot pointer from the local info unit; datagram base = ptr + 2
+    b.move(SLOT_POINTER_INDEX, P("liu0", "t_get"))
+    b.move(P("liu0", "r"), P("gpr", "r0"))
+    b.move(2, P("cnt0", "o"))
+    b.move(P("gpr", "r0"), P("cnt0", "t_add"))
+    b.move(P("cnt0", "r"), P("gpr", "r1"))            # base
+    # header word 1: payload length | next header | hop limit
+    b.move(1, P("cnt0", "o"))
+    b.move(P("gpr", "r1"), P("cnt0", "t_add"))        # base+1
+    b.move(P("cnt0", "r"), P("mmu0", "t_read"))
+    b.move(P("mmu0", "r"), P("gpr", "r11"))
+    b.move(16, P("shf0", "o"))
+    b.move(P("gpr", "r11"), P("shf0", "t_srl"))       # upper-layer length
+    b.move(P("shf0", "r"), P("gpr", "r10"))
+    b.move(0, P("cks0", "t_clear"))
+
+    b.block("pseudo_header")
+    # source + destination addresses: words base+2 .. base+9
+    b.move(2, P("cnt0", "o"))
+    b.move(P("gpr", "r1"), P("cnt0", "t_add"))        # base+2
+    for i in range(8):
+        b.move(P("cnt0", "r"), P("mmu0", "t_read"))
+        if i < 7:
+            b.move(P("cnt0", "r"), P("cnt0", "t_inc"))
+        b.move(P("mmu0", "r"), P("cks0", "t_add"))
+    # upper-layer length (32-bit) and protocol fields of the pseudo-header
+    b.move(P("gpr", "r10"), P("cks0", "t_add"))
+    b.move(PROTO_UDP, P("cks0", "t_add"))
+
+    b.block("payload_setup")
+    # word count = (length + 3) >> 2; loop end = base + 10 + count
+    b.move(3, P("cnt0", "o"))
+    b.move(P("gpr", "r10"), P("cnt0", "t_add"))
+    b.move(2, P("shf0", "o"))
+    b.move(P("cnt0", "r"), P("shf0", "t_srl"))        # word count
+    b.move(10, P("cnt0", "o"))
+    b.move(P("gpr", "r1"), P("cnt0", "t_add"))        # base+10 (payload)
+    b.move(P("cnt0", "r"), P("gpr", "r7"))            # cursor
+    b.move(P("shf0", "r"), P("cnt0", "o"))
+    b.move(P("gpr", "r7"), P("cnt0", "t_add"))        # end address
+    b.move(P("cnt0", "r"), P("cmp0", "o"))
+    # zero-length payload: skip the loop entirely
+    b.move(P("gpr", "r7"), P("cmp0", "t_lt"))
+    b.jump("verdict", guard=Guard("cmp0", negate=True))
+
+    b.block("payload_loop")
+    b.move(P("gpr", "r7"), P("mmu0", "t_read"))
+    b.move(1, P("cnt0", "o"))
+    b.move(P("gpr", "r7"), P("cnt0", "t_add"))
+    b.move(P("cnt0", "r"), P("gpr", "r7"))
+    b.move(P("mmu0", "r"), P("cks0", "t_add"))
+    b.move(P("cnt0", "r"), P("cmp0", "t_lt"))
+    b.jump("payload_loop", guard=Guard("cmp0"))
+
+    b.block("verdict")
+    # the Checksum unit raises its NC bit when the accumulator is 0xFFFF
+    b.move(P("cks0", "r_sum"), P("gpr", "r6"))
+    b.move(0, P("gpr", "r5"))
+    b.move(1, P("gpr", "r5"), guard=Guard("cks0"))
+    b.halt()
+
+    return assemble(b.build(), machine.processor, optimize_code=False)
+
+
+def verify_udp_checksum(machine: RouterMachine, slot_pointer: int) -> "tuple[bool, int, int]":
+    """Run the verification program on the datagram at *slot_pointer*.
+
+    Returns ``(valid, accumulator, cycles)``.
+    """
+    program = build_checksum_program(machine)
+    machine.processor.reset()
+    machine.processor.fu("liu0").configure([slot_pointer])
+    report = simulate(machine.processor, program)
+    gpr = machine.processor.fu("gpr")
+    return (bool(gpr.ports["r5"].value), gpr.ports["r6"].value,
+            report.cycles)

@@ -1,0 +1,19 @@
+"""Reporting helpers: text tables and architecture descriptions."""
+
+from repro.reporting.architecture import (
+    architecture_manifest,
+    describe_machine,
+    to_dot,
+)
+from repro.reporting.tables import render_rows, render_sweep
+from repro.reporting.utilization import (
+    idle_units,
+    module_utilization,
+    render_utilization,
+    saturated_units,
+)
+
+__all__ = ["render_rows", "render_sweep",
+           "architecture_manifest", "describe_machine", "to_dot",
+           "idle_units", "module_utilization", "render_utilization",
+           "saturated_units"]

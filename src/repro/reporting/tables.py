@@ -1,0 +1,57 @@
+"""Plain-text table rendering for benchmark and DSE reports."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_rows(headers: Sequence[str],
+                rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width table with right-aligned numeric columns."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {columns}: {row!r}")
+    cells: List[List[str]] = [[_format(value) for value in row]
+                              for row in rows]
+    widths = [max(len(headers[i]), *(len(r[i]) for r in cells))
+              if cells else len(headers[i]) for i in range(columns)]
+    numeric = [all(_is_numeric(row[i]) for row in rows) if rows else False
+               for i in range(columns)]
+
+    def fmt_line(values: Sequence[str]) -> str:
+        parts = []
+        for i, value in enumerate(values):
+            parts.append(value.rjust(widths[i]) if numeric[i]
+                         else value.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = [fmt_line(headers), fmt_line(["-" * w for w in widths])]
+    lines.extend(fmt_line(row) for row in cells)
+    return "\n".join(lines)
+
+
+def render_sweep(name: str, x_label: str, series: dict) -> str:
+    """Render a named parameter sweep: {series: [(x, y), ...]}."""
+    xs = sorted({x for points in series.values() for x, _ in points})
+    headers = [x_label] + list(series)
+    lookup = {label: dict(points) for label, points in series.items()}
+    rows = []
+    for x in xs:
+        rows.append([x] + [lookup[label].get(x, "") for label in series])
+    return f"{name}\n{render_rows(headers, rows)}"
+
+
+def _format(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0 or abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def _is_numeric(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)

@@ -1,0 +1,70 @@
+"""Module-utilisation reports.
+
+"From the high level simulations we obtain performance data such as
+clock cycle requirements and module utilization" (paper §1.1). This
+module renders the per-FU activity of a simulation run — triggers per
+cycle for each functional unit, plus per-bus occupancy — which is the
+designer's signal for removing idle units or adding saturated ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.reporting.tables import render_rows
+from repro.tta.processor import TacoProcessor
+from repro.tta.stats import SimulationReport
+
+
+def module_utilization(report: SimulationReport,
+                       processor: Optional[TacoProcessor] = None
+                       ) -> List[Tuple[str, float]]:
+    """(fu name, triggers per cycle), busiest first; NC excluded."""
+    rows: List[Tuple[str, float]] = []
+    for name in sorted(report.fu_triggers):
+        if name == "nc":
+            continue
+        if processor is not None and name not in processor.fus:
+            continue
+        rows.append((name, report.fu_utilization(name)))
+    rows.sort(key=lambda item: (-item[1], item[0]))
+    return rows
+
+
+def saturated_units(report: SimulationReport,
+                    threshold: float = 0.5) -> List[str]:
+    """Units triggered in more than *threshold* of cycles: the ones the
+    Y-chart iteration would consider duplicating."""
+    return [name for name, util in module_utilization(report)
+            if util >= threshold]
+
+
+def idle_units(report: SimulationReport,
+               processor: Optional[TacoProcessor] = None,
+               threshold: float = 0.01) -> List[str]:
+    """Units essentially untouched by the application: candidates for
+    removal in a leaner instance."""
+    names: Dict[str, int] = dict(report.fu_triggers)
+    if processor is not None:
+        for name in processor.fus:
+            names.setdefault(name, 0)
+    out = []
+    cycles = max(report.cycles, 1)
+    for name in sorted(names):
+        if name == "nc":
+            continue
+        if names[name] / cycles < threshold:
+            out.append(name)
+    return out
+
+
+def render_utilization(report: SimulationReport,
+                       processor: Optional[TacoProcessor] = None) -> str:
+    """Text report of bus and module utilisation."""
+    rows = [[name, round(util * 100, 1)]
+            for name, util in module_utilization(report, processor)]
+    table = render_rows(["module", "triggers/cycle %"], rows)
+    buses = ", ".join(f"bus {i}: {u * 100:.0f}%"
+                      for i, u in enumerate(report.per_bus_utilization()))
+    return (f"cycles: {report.cycles}; transport network: {buses} "
+            f"(overall {report.bus_utilization * 100:.0f}%)\n{table}")

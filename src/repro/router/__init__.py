@@ -1,0 +1,19 @@
+"""The IPv6 router: line cards, golden forwarding model, RIPng, topologies."""
+
+from repro.router.linecard import LineCard
+from repro.router.network import (
+    ConvergenceReport,
+    Link,
+    Network,
+    line_topology,
+    ring_topology,
+)
+from repro.router.ripng_engine import RipngEngine, RipngRoute
+from repro.router.router import Ipv6Router, RouterStatistics
+
+__all__ = [
+    "LineCard",
+    "ConvergenceReport", "Link", "Network", "line_topology", "ring_topology",
+    "RipngEngine", "RipngRoute",
+    "Ipv6Router", "RouterStatistics",
+]

@@ -1,0 +1,195 @@
+"""Multi-router network simulation for RIPng convergence studies.
+
+Routers are joined by point-to-point links between named interfaces. The
+simulation advances in fixed time steps: each step moves every datagram a
+router transmitted onto the peer's input queue, lets every router drain
+its inputs, and advances the RIPng timers. Convergence is reached when no
+router changes its table or emits a triggered update for a full interval.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.ipv6.address import Ipv6Address, Ipv6Prefix
+from repro.router.router import Ipv6Router
+
+Endpoint = Tuple[str, int]  # (router name, interface index)
+
+
+@dataclass
+class Link:
+    a: Endpoint
+    b: Endpoint
+    up: bool = True
+
+    def peer(self, endpoint: Endpoint) -> Endpoint:
+        if endpoint == self.a:
+            return self.b
+        if endpoint == self.b:
+            return self.a
+        raise ReproError(f"{endpoint} is not on this link")
+
+
+@dataclass
+class ConvergenceReport:
+    converged: bool
+    rounds: int
+    messages_delivered: int
+    time_elapsed: float
+
+
+class Network:
+    """A topology of :class:`Ipv6Router` instances joined by links."""
+
+    def __init__(self, step_seconds: float = 1.0):
+        self.routers: Dict[str, Ipv6Router] = {}
+        self.links: List[Link] = []
+        self._by_endpoint: Dict[Endpoint, Link] = {}
+        self.step_seconds = step_seconds
+        self.now = 0.0
+        self.messages_delivered = 0
+
+    # -- construction -----------------------------------------------------------------
+
+    def add_router(self, router: Ipv6Router) -> Ipv6Router:
+        if router.name in self.routers:
+            raise ReproError(f"duplicate router name {router.name!r}")
+        self.routers[router.name] = router
+        return router
+
+    def connect(self, a: Endpoint, b: Endpoint) -> Link:
+        for endpoint in (a, b):
+            name, interface = endpoint
+            if name not in self.routers:
+                raise ReproError(f"unknown router {name!r}")
+            router = self.routers[name]
+            if not 0 <= interface < len(router.line_cards):
+                raise ReproError(f"{name} has no interface {interface}")
+            if endpoint in self._by_endpoint:
+                raise ReproError(f"{endpoint} already linked")
+        link = Link(a=a, b=b)
+        self.links.append(link)
+        self._by_endpoint[a] = link
+        self._by_endpoint[b] = link
+        return link
+
+    def set_link_state(self, a: Endpoint, up: bool) -> None:
+        link = self._by_endpoint.get(a)
+        if link is None:
+            raise ReproError(f"{a} is not linked")
+        link.up = up
+
+    # -- simulation -------------------------------------------------------------------
+
+    def step(self) -> int:
+        """One round: deliver transmissions, process inputs, tick timers."""
+        delivered = self._deliver_transmissions()
+        for router in self.routers.values():
+            router.poll_inputs(now=self.now)
+        for router in self.routers.values():
+            router.tick(self.now)
+        self.now += self.step_seconds
+        self.messages_delivered += delivered
+        return delivered
+
+    def _deliver_transmissions(self) -> int:
+        delivered = 0
+        for name, router in self.routers.items():
+            for card in router.line_cards:
+                if not card.transmitted:
+                    continue
+                outgoing = list(card.transmitted)
+                card.transmitted.clear()
+                link = self._by_endpoint.get((name, card.index))
+                if link is None or not link.up:
+                    continue  # unconnected or down: frames vanish
+                peer_name, peer_interface = link.peer((name, card.index))
+                peer = self.routers[peer_name]
+                for raw in outgoing:
+                    peer.line_cards[peer_interface].deliver(raw)
+                    delivered += 1
+        return delivered
+
+    def run_until_converged(self, max_rounds: int = 600,
+                            quiet_rounds: int = 20) -> ConvergenceReport:
+        """Advance until the control plane is quiet for *quiet_rounds*.
+
+        Quiet means no RIPng datagram crossed any link; periodic updates
+        restart the clock, so *quiet_rounds* must stay below the update
+        interval (30 s at 1 s steps).
+        """
+        quiet = 0
+        for round_index in itertools.count():
+            if round_index >= max_rounds:
+                return ConvergenceReport(False, round_index,
+                                         self.messages_delivered, self.now)
+            delivered = self.step()
+            quiet = quiet + 1 if delivered == 0 else 0
+            if quiet >= quiet_rounds:
+                return ConvergenceReport(True, round_index + 1,
+                                         self.messages_delivered, self.now)
+        raise AssertionError("unreachable")
+
+    # -- inspection -------------------------------------------------------------------
+
+    def route_metric(self, router_name: str,
+                     prefix: Ipv6Prefix) -> Optional[int]:
+        router = self.routers[router_name]
+        if router.ripng is None:
+            return None
+        return router.ripng.route_metric(prefix)
+
+    def tables_agree_on(self, prefix: Ipv6Prefix) -> bool:
+        """Every RIPng router knows *prefix* with a finite metric."""
+        for router in self.routers.values():
+            if router.ripng is None:
+                continue
+            metric = router.ripng.route_metric(prefix)
+            if metric is None or metric >= 16:
+                return False
+        return True
+
+
+def line_topology(count: int, table_kind: str = "balanced-tree",
+                  step_seconds: float = 1.0) -> Network:
+    """R0 -- R1 -- ... -- R(n-1), each with two interfaces."""
+    if count < 2:
+        raise ReproError("line topology needs at least two routers")
+    network = Network(step_seconds=step_seconds)
+    for i in range(count):
+        addresses = [
+            Ipv6Address.parse(f"2001:db8:{i:x}:1::1"),
+            Ipv6Address.parse(f"2001:db8:{i:x}:2::1"),
+        ]
+        network.add_router(Ipv6Router(f"r{i}", addresses,
+                                      table_kind=table_kind))
+    for i in range(count - 1):
+        network.connect((f"r{i}", 1), (f"r{i + 1}", 0))
+    return network
+
+
+def ring_topology(count: int, table_kind: str = "balanced-tree",
+                  step_seconds: float = 1.0) -> Network:
+    """A cycle of *count* routers (redundant paths, tests split horizon)."""
+    if count < 3:
+        raise ReproError("ring topology needs at least three routers")
+    network = line_topology(count, table_kind=table_kind,
+                            step_seconds=step_seconds)
+    # close the ring with the spare interfaces of the two line ends: use
+    # dedicated third interfaces to avoid clashing with line links
+    first = network.routers["r0"]
+    last = network.routers[f"r{count - 1}"]
+    for router in (first, last):
+        router.line_cards.append(
+            type(router.line_cards[0])(len(router.line_cards)))
+        router.interface_addresses.append(
+            Ipv6Address.parse(f"2001:db8:ff{router.name[1:]}::1"))
+        if router.ripng:
+            router.ripng.interface_count += 1
+    network.connect(("r0", len(first.line_cards) - 1),
+                    (f"r{count - 1}", len(last.line_cards) - 1))
+    return network

@@ -1,0 +1,281 @@
+"""RIPng distance-vector engine (RFC 2080 semantics).
+
+The paper's router "builds up the Routing Table by listening for specific
+datagrams broadcasted by the adjacent routers ... At regular intervals,
+the routing table information is broadcasted to the adjacent routers"
+(§3). This engine implements that: periodic full updates with split
+horizon (poisoned reverse optional), triggered updates on metric change,
+route timeout and garbage collection, and the request/response protocol.
+
+It drives a :class:`~repro.routing.base.RoutingTable` — any of the three
+implementations — so RIPng activity exercises the exact insert/remove
+paths whose update costs the paper's §4 discusses ("the insertion and
+deletion operations become much more complex").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import RipngError
+from repro.ipv6.address import Ipv6Address, Ipv6Prefix
+from repro.ipv6.ripng import (
+    COMMAND_REQUEST,
+    COMMAND_RESPONSE,
+    GARBAGE_COLLECTION_S,
+    METRIC_INFINITY,
+    ROUTE_TIMEOUT_S,
+    RipngMessage,
+    RouteTableEntry,
+    UPDATE_INTERVAL_S,
+    is_full_table_request,
+    response,
+)
+from repro.routing.base import RoutingTable
+from repro.routing.entry import RouteEntry
+
+#: messages are returned as (interface, encoded bytes)
+OutboundMessage = Tuple[int, bytes]
+
+
+@dataclass
+class RipngRoute:
+    """Engine-side state for one learned or connected route."""
+
+    prefix: Ipv6Prefix
+    metric: int
+    next_hop: Ipv6Address
+    interface: int
+    learned_from: Optional[Ipv6Address]  # None = connected (never expires)
+    timeout_at: Optional[float]
+    garbage_at: Optional[float] = None
+    changed: bool = True
+    route_tag: int = 0
+
+    @property
+    def expired(self) -> bool:
+        return self.garbage_at is not None
+
+
+class RipngEngine:
+    """The distance-vector state machine of one router."""
+
+    def __init__(self, router_name: str, table: RoutingTable,
+                 interface_count: int,
+                 update_interval: float = UPDATE_INTERVAL_S,
+                 route_timeout: float = ROUTE_TIMEOUT_S,
+                 garbage_interval: float = GARBAGE_COLLECTION_S,
+                 poisoned_reverse: bool = False):
+        if interface_count < 1:
+            raise RipngError("need at least one interface")
+        self.router_name = router_name
+        self.table = table
+        self.interface_count = interface_count
+        self.update_interval = update_interval
+        self.route_timeout = route_timeout
+        self.garbage_interval = garbage_interval
+        self.poisoned_reverse = poisoned_reverse
+        self.routes: Dict[Ipv6Prefix, RipngRoute] = {}
+        self._next_update_at = 0.0
+        self._pending_triggered = False
+        self._booted = False
+        self.updates_sent = 0
+        self.responses_processed = 0
+
+    # -- route origination ---------------------------------------------------------------
+
+    def add_connected(self, address: Ipv6Address, interface: int,
+                      prefix_length: int = 64) -> None:
+        """Announce the directly attached prefix of an interface."""
+        prefix = Ipv6Prefix.of(address, prefix_length)
+        route = RipngRoute(
+            prefix=prefix, metric=1,
+            next_hop=Ipv6Address(0), interface=interface,
+            learned_from=None, timeout_at=None)
+        self.routes[prefix] = route
+        self._install(route)
+
+    def originate(self, prefix: Ipv6Prefix, interface: int,
+                  metric: int = 1) -> None:
+        """Statically originate a prefix (e.g. a customer network)."""
+        route = RipngRoute(prefix=prefix, metric=metric,
+                           next_hop=Ipv6Address(0), interface=interface,
+                           learned_from=None, timeout_at=None)
+        self.routes[prefix] = route
+        self._install(route)
+
+    # -- inbound -----------------------------------------------------------------------
+
+    def receive(self, payload: bytes, sender: Ipv6Address, interface: int,
+                now: float) -> List[OutboundMessage]:
+        """Process one RIPng payload; returns any direct replies."""
+        message = RipngMessage.from_bytes(payload)
+        if message.command == COMMAND_REQUEST:
+            return self._handle_request(message, interface)
+        if message.command == COMMAND_RESPONSE:
+            self._handle_response(message, sender, interface, now)
+            return []
+        raise RipngError(f"unexpected command {message.command}")
+
+    def _handle_request(self, message: RipngMessage,
+                        interface: int) -> List[OutboundMessage]:
+        if is_full_table_request(message):
+            entries = self._export_entries(interface)
+            return [(interface, response(entries).to_bytes())]
+        # specific-prefix request: answer with our metric (or infinity)
+        answers: List[RouteTableEntry] = []
+        for entry, _next_hop in message.routes():
+            route = self.routes.get(entry.prefix)
+            metric = route.metric if route and not route.expired \
+                else METRIC_INFINITY
+            answers.append(RouteTableEntry(prefix=entry.prefix,
+                                           metric=metric))
+        if not answers:
+            return []
+        return [(interface, response(answers).to_bytes())]
+
+    def _handle_response(self, message: RipngMessage, sender: Ipv6Address,
+                         interface: int, now: float) -> None:
+        self.responses_processed += 1
+        for entry, explicit_next_hop in message.routes():
+            next_hop = explicit_next_hop or sender
+            metric = min(entry.metric + 1, METRIC_INFINITY)
+            self._consider(entry.prefix, metric, next_hop, interface,
+                           sender, entry.route_tag, now)
+
+    def _consider(self, prefix: Ipv6Prefix, metric: int,
+                  next_hop: Ipv6Address, interface: int,
+                  sender: Ipv6Address, route_tag: int, now: float) -> None:
+        current = self.routes.get(prefix)
+        if current is not None and current.learned_from is None:
+            return  # never displace connected/static routes
+        from_current_gateway = (current is not None
+                                and current.learned_from == sender)
+        if current is None:
+            if metric >= METRIC_INFINITY:
+                return
+            route = RipngRoute(prefix=prefix, metric=metric,
+                               next_hop=next_hop, interface=interface,
+                               learned_from=sender,
+                               timeout_at=now + self.route_timeout,
+                               route_tag=route_tag)
+            self.routes[prefix] = route
+            self._install(route)
+            self._pending_triggered = True
+            return
+        if from_current_gateway:
+            # same gateway: always refresh, adopt any metric change
+            current.timeout_at = now + self.route_timeout
+            if metric != current.metric:
+                current.metric = metric
+                current.changed = True
+                self._pending_triggered = True
+                if metric >= METRIC_INFINITY:
+                    self._start_deletion(current, now)
+                else:
+                    current.garbage_at = None
+                    current.next_hop = next_hop
+                    current.interface = interface
+                    self._install(current)
+        elif metric < current.metric and metric < METRIC_INFINITY:
+            current.metric = metric
+            current.next_hop = next_hop
+            current.interface = interface
+            current.learned_from = sender
+            current.timeout_at = now + self.route_timeout
+            current.garbage_at = None
+            current.changed = True
+            self._install(current)
+            self._pending_triggered = True
+
+    # -- timers / outbound ------------------------------------------------------------------
+
+    def tick(self, now: float) -> List[OutboundMessage]:
+        """Advance timers; returns updates to transmit."""
+        out: List[OutboundMessage] = []
+        if not self._booted:
+            # RFC 2080 §2.5.1: ask every neighbour for its full table on
+            # startup rather than waiting out an update interval
+            self._booted = True
+            from repro.ipv6.ripng import request_full_table
+            request = request_full_table().to_bytes()
+            out.extend((interface, request)
+                       for interface in range(self.interface_count))
+        self._expire(now)
+        if self._pending_triggered:
+            out.extend(self._emit_updates(changed_only=True))
+            self._pending_triggered = False
+        if now >= self._next_update_at:
+            out.extend(self._emit_updates(changed_only=False))
+            self._next_update_at = now + self.update_interval
+        return out
+
+    def _expire(self, now: float) -> None:
+        to_delete: List[Ipv6Prefix] = []
+        for route in self.routes.values():
+            if route.learned_from is None:
+                continue
+            if route.garbage_at is not None:
+                if now >= route.garbage_at:
+                    to_delete.append(route.prefix)
+            elif route.timeout_at is not None and now >= route.timeout_at:
+                route.metric = METRIC_INFINITY
+                route.changed = True
+                self._pending_triggered = True
+                self._start_deletion(route, now)
+        for prefix in to_delete:
+            del self.routes[prefix]
+
+    def _start_deletion(self, route: RipngRoute, now: float) -> None:
+        route.garbage_at = now + self.garbage_interval
+        if route.prefix in self.table:
+            self.table.remove(route.prefix)
+
+    def _emit_updates(self, changed_only: bool) -> List[OutboundMessage]:
+        out: List[OutboundMessage] = []
+        for interface in range(self.interface_count):
+            entries = self._export_entries(interface,
+                                           changed_only=changed_only)
+            if entries:
+                out.append((interface, response(entries).to_bytes()))
+        for route in self.routes.values():
+            route.changed = False
+        if out:
+            self.updates_sent += 1
+        return out
+
+    def _export_entries(self, interface: int,
+                        changed_only: bool = False) -> List[RouteTableEntry]:
+        """Split-horizon view of the table for one interface."""
+        entries: List[RouteTableEntry] = []
+        for route in self.routes.values():
+            if changed_only and not route.changed:
+                continue
+            metric = route.metric
+            if route.learned_from is not None and \
+                    route.interface == interface:
+                if not self.poisoned_reverse:
+                    continue  # simple split horizon: omit
+                metric = METRIC_INFINITY  # poisoned reverse: advertise ∞
+            entries.append(RouteTableEntry(
+                prefix=route.prefix, metric=min(metric, METRIC_INFINITY),
+                route_tag=route.route_tag))
+        return entries
+
+    # -- table integration -------------------------------------------------------------------
+
+    def _install(self, route: RipngRoute) -> None:
+        self.table.insert(RouteEntry(
+            prefix=route.prefix, next_hop=route.next_hop,
+            interface=route.interface, metric=route.metric,
+            route_tag=route.route_tag))
+
+    def active_routes(self) -> List[RipngRoute]:
+        return [r for r in self.routes.values() if not r.expired]
+
+    def route_metric(self, prefix: Ipv6Prefix) -> Optional[int]:
+        route = self.routes.get(prefix)
+        if route is None or route.expired:
+            return None
+        return route.metric

@@ -1,0 +1,40 @@
+"""Routing tables with identical LPM semantics and distinct cost models.
+
+Three implementations, matching the paper's §4 evaluation:
+
+* :class:`SequentialRoutingTable` — linear scan over cache memory (O(n));
+* :class:`BalancedTreeRoutingTable` — AVL tree (O(log n) search, complex
+  updates);
+* :class:`CamRoutingTable` — ternary CAM + SRAM (O(1) search, 40 ns).
+"""
+
+from repro.routing.balanced_tree import BalancedTreeRoutingTable
+from repro.routing.base import DEFAULT_CAPACITY, RoutingTable, TableStatistics
+from repro.routing.cam import CAM_SEARCH_TIME_NS, CamPhysicalModel, CamRoutingTable
+from repro.routing.entry import LookupResult, RouteEntry
+from repro.routing.sequential import SequentialRoutingTable
+
+TABLE_KINDS = {
+    SequentialRoutingTable.kind: SequentialRoutingTable,
+    BalancedTreeRoutingTable.kind: BalancedTreeRoutingTable,
+    CamRoutingTable.kind: CamRoutingTable,
+}
+
+
+def make_table(kind: str, capacity: int = DEFAULT_CAPACITY) -> RoutingTable:
+    """Factory over the three implementations by their ``kind`` string."""
+    try:
+        cls = TABLE_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown routing table kind {kind!r}; "
+            f"choose from {sorted(TABLE_KINDS)}") from None
+    return cls(capacity=capacity)
+
+
+__all__ = [
+    "BalancedTreeRoutingTable", "CamRoutingTable", "SequentialRoutingTable",
+    "CamPhysicalModel", "CAM_SEARCH_TIME_NS",
+    "RoutingTable", "TableStatistics", "DEFAULT_CAPACITY",
+    "LookupResult", "RouteEntry", "TABLE_KINDS", "make_table",
+]

@@ -1,0 +1,133 @@
+"""Abstract routing-table interface and shared bookkeeping.
+
+All three implementations (sequential cache memory, balanced tree, CAM)
+expose identical longest-prefix-match semantics; they differ only in how
+many elements a lookup examines and in their physical cost models. The
+identical-semantics claim is enforced by property-based tests.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.errors import RoutingTableError
+from repro.ipv6.address import Ipv6Address, Ipv6Prefix
+from repro.routing.entry import LookupResult, RouteEntry
+
+DEFAULT_CAPACITY = 100
+"""The paper's design constraint: "a maximum size of 100 entries"."""
+
+
+@dataclass
+class TableStatistics:
+    """Cumulative access statistics, the raw input to the cycle models."""
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    total_lookup_steps: int = 0
+    inserts: int = 0
+    removals: int = 0
+    total_update_steps: int = 0
+
+    def record_lookup(self, steps: int, hit: bool) -> None:
+        self.lookups += 1
+        self.total_lookup_steps += steps
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+
+    def record_update(self, steps: int, insert: bool) -> None:
+        self.total_update_steps += steps
+        if insert:
+            self.inserts += 1
+        else:
+            self.removals += 1
+
+    @property
+    def mean_lookup_steps(self) -> float:
+        return self.total_lookup_steps / self.lookups if self.lookups else 0.0
+
+
+class RoutingTable(ABC):
+    """Longest-prefix-match routing table with bounded capacity."""
+
+    #: short identifier used in reports and Table 1 rows
+    kind: str = "abstract"
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise RoutingTableError(f"capacity must be positive: {capacity}")
+        self._capacity = capacity
+        self.stats = TableStatistics()
+
+    # -- mandatory interface -------------------------------------------------
+
+    @abstractmethod
+    def _insert(self, entry: RouteEntry) -> int:
+        """Insert or replace; returns elements touched (update cost)."""
+
+    @abstractmethod
+    def _remove(self, prefix: Ipv6Prefix) -> int:
+        """Remove; returns elements touched. Raises if absent."""
+
+    @abstractmethod
+    def _lookup(self, address: Ipv6Address) -> "tuple[Optional[RouteEntry], int]":
+        """Find the longest matching prefix; returns (entry|None, steps)."""
+
+    @abstractmethod
+    def get(self, prefix: Ipv6Prefix) -> Optional[RouteEntry]:
+        """Exact-prefix fetch (used by the RIPng engine), no LPM."""
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    @abstractmethod
+    def __iter__(self) -> Iterator[RouteEntry]: ...
+
+    # -- shared behaviour ------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def insert(self, entry: RouteEntry) -> None:
+        """Insert a route, replacing any entry with the same prefix."""
+        if self.get(entry.prefix) is None and len(self) >= self._capacity:
+            raise RoutingTableError(
+                f"routing table full ({self._capacity} entries)")
+        steps = self._insert(entry)
+        self.stats.record_update(steps, insert=True)
+
+    def remove(self, prefix: Ipv6Prefix) -> None:
+        steps = self._remove(prefix)
+        self.stats.record_update(steps, insert=False)
+
+    def lookup(self, address: Ipv6Address) -> Optional[LookupResult]:
+        """Longest-prefix match for *address*; None when no route exists."""
+        entry, steps = self._lookup(address)
+        self.stats.record_lookup(steps, hit=entry is not None)
+        if entry is None:
+            return None
+        return LookupResult(entry=entry, steps=steps)
+
+    def entries(self) -> List[RouteEntry]:
+        return list(self)
+
+    def clear(self) -> None:
+        for entry in self.entries():
+            self._remove(entry.prefix)
+
+    def load(self, entries: "list[RouteEntry]") -> None:
+        """Bulk-insert (used by workload generators and benchmarks)."""
+        for entry in entries:
+            self.insert(entry)
+
+    def __contains__(self, prefix: Ipv6Prefix) -> bool:
+        return self.get(prefix) is not None
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {len(self)}/{self._capacity} entries>"

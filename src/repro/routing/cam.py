@@ -1,0 +1,136 @@
+"""Content-addressable memory (CAM) routing table model.
+
+The paper's third option: "a 136-bit wide content addressable memory (CAM)
+and a commercially available SRAM chip. By combining these two circuits we
+calculated that the routing table searching time would be 40 ns" (§4). The
+CAM matches the 128-bit destination (plus tag bits) against every stored
+(value, mask) pair in parallel; the SRAM holds the associated next-hop
+records, indexed by the matching CAM line.
+
+We model a ternary CAM: each line stores value+mask, the priority encoder
+returns the matching line with the *longest* prefix (lines are kept sorted
+by descending prefix length, the standard TCAM discipline). The model also
+carries the datasheet-style physical figures the paper quotes for the
+Micron Harmony 1 Mb CAM (1.5–2 W average at 133 MHz) so the estimation
+layer can include them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import RoutingTableError
+from repro.ipv6.address import Ipv6Address, Ipv6Prefix
+from repro.routing.base import DEFAULT_CAPACITY, RoutingTable
+from repro.routing.entry import RouteEntry
+
+CAM_WIDTH_BITS = 136
+"""128 address bits + 8 tag bits, as in the paper."""
+
+CAM_SEARCH_TIME_NS = 40.0
+"""Combined CAM match + SRAM read latency the paper calculates."""
+
+
+@dataclass(frozen=True)
+class CamPhysicalModel:
+    """Datasheet-style physical figures for the external CAM+SRAM pair.
+
+    Defaults follow the paper's example part (Micron Harmony 1 Mb CAM,
+    1.5–2 W average at 133 MHz). The CAM is an external chip: its power
+    adds to the router's budget but its area is off-die ("the power and
+    area required by the CAM chip are not included" in the paper's TACO
+    estimates — reports keep the contributions separable for that reason).
+    """
+
+    search_time_ns: float = CAM_SEARCH_TIME_NS
+    average_power_w: float = 1.75
+    reference_clock_mhz: float = 133.0
+    width_bits: int = CAM_WIDTH_BITS
+
+    def power_at(self, clock_mhz: float) -> float:
+        """Average power scaled linearly with search rate (CV²f model)."""
+        if clock_mhz <= 0:
+            raise RoutingTableError(f"clock must be positive: {clock_mhz}")
+        scale = min(clock_mhz / self.reference_clock_mhz, 1.0)
+        return self.average_power_w * scale
+
+    def search_cycles(self, clock_hz: float) -> int:
+        """Search latency in (whole) processor cycles at a given clock.
+
+        This is why raising the TACO clock stops helping in the CAM rows
+        of Table 1: the 40 ns search is a wall-clock constant.
+        """
+        if clock_hz <= 0:
+            raise RoutingTableError(f"clock must be positive: {clock_hz}")
+        cycles = self.search_time_ns * 1e-9 * clock_hz
+        return max(1, int(-(-cycles // 1)))
+
+
+@dataclass
+class _CamLine:
+    value: int
+    mask: int
+    entry: RouteEntry
+
+
+class CamRoutingTable(RoutingTable):
+    """TCAM-style table: single-step parallel match, priority by length."""
+
+    kind = "cam"
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 physical: Optional[CamPhysicalModel] = None):
+        super().__init__(capacity)
+        self.physical = physical or CamPhysicalModel()
+        self._lines: List[_CamLine] = []
+
+    def _insert(self, entry: RouteEntry) -> int:
+        prefix = entry.prefix
+        for line in self._lines:
+            if line.entry.prefix == prefix:
+                line.entry = entry
+                return 1
+        new_line = _CamLine(value=prefix.network.value, mask=prefix.mask(),
+                            entry=entry)
+        position = len(self._lines)
+        for i, line in enumerate(self._lines):
+            if line.entry.prefix.length < prefix.length:
+                position = i
+                break
+        self._lines.insert(position, new_line)
+        # A real TCAM must shuffle lines to keep priority order; count the
+        # displaced lines as the update cost.
+        return 1 + (len(self._lines) - position - 1)
+
+    def _remove(self, prefix: Ipv6Prefix) -> int:
+        for i, line in enumerate(self._lines):
+            if line.entry.prefix == prefix:
+                del self._lines[i]
+                return 1 + (len(self._lines) - i)
+        raise RoutingTableError(f"no such route: {prefix}")
+
+    def _lookup(self, address: Ipv6Address) -> Tuple[Optional[RouteEntry], int]:
+        # Hardware matches all lines in parallel; the model's "steps" is 1
+        # regardless of occupancy — the defining property of the CAM row.
+        value = address.value
+        for line in self._lines:
+            if (value & line.mask) == line.value:
+                return line.entry, 1
+        return None, 1
+
+    def get(self, prefix: Ipv6Prefix) -> Optional[RouteEntry]:
+        for line in self._lines:
+            if line.entry.prefix == prefix:
+                return line.entry
+        return None
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def __iter__(self) -> Iterator[RouteEntry]:
+        return iter([line.entry for line in self._lines])
+
+    def priority_order(self) -> List[Ipv6Prefix]:
+        """Line order, for tests asserting the TCAM priority discipline."""
+        return [line.entry.prefix for line in self._lines]

@@ -1,0 +1,83 @@
+"""Sequential routing table: entries laid out linearly in cache memory.
+
+This is the paper's first implementation option ("a cache memory in which
+the entries are organized sequentially", §4). A lookup scans every entry
+because a *longest* match requires seeing all candidates unless the scan
+order guarantees specificity; we keep entries sorted by descending prefix
+length, so the first hit is the longest match and the scan can stop there —
+still linear in the worst case (a miss examines all entries), exactly the
+behaviour that drives the 6 GHz requirement in Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import RoutingTableError
+from repro.ipv6.address import Ipv6Address, Ipv6Prefix
+from repro.routing.base import DEFAULT_CAPACITY, RoutingTable
+from repro.routing.entry import RouteEntry
+
+
+class SequentialRoutingTable(RoutingTable):
+    """Linear-scan table over a specificity-ordered entry list."""
+
+    kind = "sequential"
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        super().__init__(capacity)
+        self._entries: List[RouteEntry] = []
+
+    # -- core operations -----------------------------------------------------
+
+    def _insert(self, entry: RouteEntry) -> int:
+        steps = 0
+        for i, existing in enumerate(self._entries):
+            steps += 1
+            if existing.prefix == entry.prefix:
+                self._entries[i] = entry
+                return steps
+        # Insert keeping descending prefix-length order (stable within a
+        # length class): find the first slot with a shorter prefix.
+        position = len(self._entries)
+        for i, existing in enumerate(self._entries):
+            if existing.prefix.length < entry.prefix.length:
+                position = i
+                break
+        self._entries.insert(position, entry)
+        # Shifting the tail models the memory writes a real cache-memory
+        # table performs to keep the array contiguous.
+        return steps + (len(self._entries) - position)
+
+    def _remove(self, prefix: Ipv6Prefix) -> int:
+        for i, existing in enumerate(self._entries):
+            if existing.prefix == prefix:
+                del self._entries[i]
+                return i + 1 + (len(self._entries) - i)
+        raise RoutingTableError(f"no such route: {prefix}")
+
+    def _lookup(self, address: Ipv6Address) -> Tuple[Optional[RouteEntry], int]:
+        steps = 0
+        for entry in self._entries:
+            steps += 1
+            if entry.matches(address):
+                return entry, steps
+        return None, steps
+
+    def get(self, prefix: Ipv6Prefix) -> Optional[RouteEntry]:
+        for entry in self._entries:
+            if entry.prefix == prefix:
+                return entry
+        return None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[RouteEntry]:
+        return iter(list(self._entries))
+
+    # -- memory image (for the TACO data memory) ------------------------------
+
+    def memory_layout(self) -> List[RouteEntry]:
+        """The scan order, used to serialise the table into data memory."""
+        return list(self._entries)

@@ -1,0 +1,73 @@
+"""The interconnection network: data buses and socket connectivity.
+
+FUs connect to buses through sockets; a move can only travel on a bus both
+its source and destination sockets reach. The default network is fully
+connected (every port reaches every bus), which is what the paper's
+configurations use; restricted connectivity is supported so that DSE
+extensions can explore cheaper networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional
+
+from repro.errors import ConfigurationError
+from repro.tta.ports import PortRef
+
+
+@dataclass(frozen=True)
+class Bus:
+    """One data bus; purely structural (width is uniform at 32 bits)."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ConfigurationError(f"negative bus index: {self.index}")
+
+
+@dataclass
+class Interconnect:
+    """Bus set plus the socket connectivity relation.
+
+    ``connectivity`` maps an FU name to the set of bus indices its sockets
+    reach; an absent FU is fully connected. Per-FU (rather than per-port)
+    granularity matches the paper's socket model: an FU's input and output
+    sockets attach to the same subset of buses.
+    """
+
+    bus_count: int
+    connectivity: Dict[str, FrozenSet[int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.bus_count < 1:
+            raise ConfigurationError(
+                f"at least one bus required, got {self.bus_count}")
+        for fu, buses in self.connectivity.items():
+            bad = [b for b in buses if not 0 <= b < self.bus_count]
+            if bad:
+                raise ConfigurationError(
+                    f"FU {fu!r} connected to nonexistent buses {bad}")
+            if not buses:
+                raise ConfigurationError(f"FU {fu!r} connected to no bus")
+
+    def buses(self) -> "list[Bus]":
+        return [Bus(i) for i in range(self.bus_count)]
+
+    def reachable(self, fu_name: str) -> FrozenSet[int]:
+        return self.connectivity.get(
+            fu_name, frozenset(range(self.bus_count)))
+
+    def allows(self, bus_index: int, source: Optional[PortRef],
+               destination: PortRef) -> bool:
+        """Can a move from *source* to *destination* use this bus?
+
+        Immediate sources (``source=None``) are injected by the NC's
+        instruction word and reach every bus.
+        """
+        if not 0 <= bus_index < self.bus_count:
+            return False
+        if source is not None and bus_index not in self.reachable(source.fu):
+            return False
+        return bus_index in self.reachable(destination.fu)

@@ -1,0 +1,60 @@
+"""Interconnection network controller (NC).
+
+The NC fetches one instruction per cycle, evaluates move guards against
+the FU result-bit wires, and issues the moves onto the buses. It is itself
+addressable as a destination: writing its ``pc`` port is a jump (taking
+effect at the next fetch), and writing ``halt`` stops the program. This is
+how TTAs realise control flow without a branch unit — a guarded move to
+``nc.pc``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.tta.fu import FunctionalUnit
+from repro.tta.ports import PortKind
+
+NC_NAME = "nc"
+PC_PORT = "pc"
+HALT_PORT = "halt"
+
+
+class NetworkController(FunctionalUnit):
+    """The NC as an addressable unit with ``pc`` and ``halt`` destinations."""
+
+    kind = "nc"
+    latency = 1
+
+    def __init__(self, name: str = NC_NAME):
+        super().__init__(name)
+        self.pc = 0
+        self.halted = False
+        self._jump_target: Optional[int] = None
+        self.jumps_taken = 0
+
+    def _declare_ports(self) -> None:
+        self.add_port(PC_PORT, PortKind.TRIGGER)
+        self.add_port(HALT_PORT, PortKind.TRIGGER)
+
+    def _execute(self, trigger_port: str, value: int, cycle: int) -> None:
+        if trigger_port == PC_PORT:
+            self._jump_target = value
+            self.jumps_taken += 1
+        else:
+            self.halted = True
+
+    def advance(self) -> None:
+        """Move to the next instruction (called at end of each cycle)."""
+        if self._jump_target is not None:
+            self.pc = self._jump_target
+            self._jump_target = None
+        else:
+            self.pc += 1
+
+    def reset(self) -> None:
+        super().reset()
+        self.pc = 0
+        self.halted = False
+        self._jump_target = None
+        self.jumps_taken = 0

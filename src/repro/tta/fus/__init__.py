@@ -1,0 +1,34 @@
+"""The TACO functional-unit library (paper Fig. 2)."""
+
+from repro.tta.fus.checksum import ChecksumUnit
+from repro.tta.fus.comparator import Comparator
+from repro.tta.fus.counter import Counter
+from repro.tta.fus.ippu import InputPreprocessingUnit
+from repro.tta.fus.liu import LocalInfoUnit
+from repro.tta.fus.masker import Masker
+from repro.tta.fus.matcher import Matcher
+from repro.tta.fus.mmu import MemoryManagementUnit
+from repro.tta.fus.oppu import OutputPostprocessingUnit
+from repro.tta.fus.rtu import (
+    ENTRY_STRIDE_SHIFT,
+    ENTRY_STRIDE_WORDS,
+    NIL_INDEX,
+    OFF_ENCLOSING,
+    OFF_INTERFACE,
+    OFF_LEFT,
+    OFF_LENGTH,
+    OFF_MASK,
+    OFF_NETWORK,
+    OFF_RIGHT,
+    RoutingTableUnit,
+)
+from repro.tta.fus.shifter import Shifter
+
+__all__ = [
+    "ChecksumUnit", "Comparator", "Counter", "InputPreprocessingUnit",
+    "LocalInfoUnit", "Masker", "Matcher", "MemoryManagementUnit",
+    "OutputPostprocessingUnit", "RoutingTableUnit", "Shifter",
+    "ENTRY_STRIDE_SHIFT", "ENTRY_STRIDE_WORDS", "NIL_INDEX",
+    "OFF_ENCLOSING", "OFF_INTERFACE", "OFF_LEFT", "OFF_LENGTH",
+    "OFF_MASK", "OFF_NETWORK", "OFF_RIGHT",
+]

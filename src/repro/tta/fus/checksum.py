@@ -1,0 +1,57 @@
+"""Checksum FU: RFC 1071 ones'-complement accumulation.
+
+IPv6 removed the header checksum, but the router still terminates RIPng
+(UDP) and ICMPv6 traffic whose checksums cover an IPv6 pseudo-header; the
+Checksum unit in the paper's architecture (Fig. 2) serves that path. Each
+``t_add`` folds a 32-bit word into the accumulator as two 16-bit halves
+with end-around carry, matching :mod:`repro.ipv6.checksum` bit for bit.
+
+The NC-visible result bit is "accumulator == 0xFFFF", which is the
+verification condition for a received checksum-covered payload.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.tta.fu import FunctionalUnit
+from repro.tta.ports import PortKind
+
+
+def _fold16(total: int) -> int:
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total
+
+
+class ChecksumUnit(FunctionalUnit):
+    """Stateful ones'-complement accumulator over 16-bit halves."""
+
+    kind = "checksum"
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self._accumulator = 0
+
+    def _declare_ports(self) -> None:
+        self.add_port("t_clear", PortKind.TRIGGER)  # value ignored
+        self.add_port("t_add", PortKind.TRIGGER)    # fold a 32-bit word
+        self.add_port("r_sum", PortKind.RESULT)     # accumulated sum
+        self.add_port("r_cksum", PortKind.RESULT)   # complement (to transmit)
+
+    def _execute(self, trigger_port: str, value: int, cycle: int) -> None:
+        if trigger_port == "t_clear":
+            self._accumulator = 0
+        elif trigger_port == "t_add":
+            self._accumulator = _fold16(
+                self._accumulator + (value >> 16) + (value & 0xFFFF))
+        else:
+            raise SimulationError(f"unknown checksum trigger {trigger_port!r}")
+        accumulator = self._accumulator
+        self.finish(cycle, {
+            "r_sum": accumulator,
+            "r_cksum": (~accumulator) & 0xFFFF,
+        }, result_bit=accumulator == 0xFFFF)
+
+    def reset(self) -> None:
+        super().reset()
+        self._accumulator = 0

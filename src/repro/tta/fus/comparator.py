@@ -1,0 +1,43 @@
+"""Comparator FU.
+
+"For comparing operands with a given value a Comparer Unit has been
+designed. The result of a comparison ... is signaled to the Network
+Controller via a result signal" (paper §3). Comparisons are unsigned, as
+everything on the 32-bit datapath is an unsigned word.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import SimulationError
+from repro.tta.fu import FunctionalUnit
+from repro.tta.ports import PortKind
+
+_OPERATIONS: Dict[str, Callable[[int, int], bool]] = {
+    "t_eq": lambda a, b: a == b,
+    "t_ne": lambda a, b: a != b,
+    "t_lt": lambda a, b: a < b,
+    "t_le": lambda a, b: a <= b,
+    "t_gt": lambda a, b: a > b,
+    "t_ge": lambda a, b: a >= b,
+}
+
+
+class Comparator(FunctionalUnit):
+    """result_bit = trigger_value OP reference operand."""
+
+    kind = "comparator"
+
+    def _declare_ports(self) -> None:
+        self.add_port("o", PortKind.OPERAND)
+        for trigger in _OPERATIONS:
+            self.add_port(trigger, PortKind.TRIGGER)
+        self.add_port("r", PortKind.RESULT)
+
+    def _execute(self, trigger_port: str, value: int, cycle: int) -> None:
+        operation = _OPERATIONS.get(trigger_port)
+        if operation is None:
+            raise SimulationError(f"unknown comparator trigger {trigger_port!r}")
+        outcome = operation(value, self.operand("o"))
+        self.finish(cycle, {"r": int(outcome)}, result_bit=outcome)

@@ -1,0 +1,48 @@
+"""Counter FU: arithmetic and loop counting with a stop signal.
+
+"The Counter Unit performs arithmetical operations (increment, decrement,
+addition, subtraction) and counting (upwards or downwards from a start
+value to a stop value). When the stop value has been reached a result
+signal directly connected to the Network Controller is enabled" (paper §3).
+
+Loop idiom: put the stop value in ``o_stop``, then keep feeding the result
+back into ``t_inc`` (``cnt.r -> cnt.t_inc``); the NC-visible result bit
+rises exactly when the count reaches the stop value, so a single guarded
+move closes the loop.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.tta.fu import FunctionalUnit
+from repro.tta.ports import PortKind, truncate
+
+
+class Counter(FunctionalUnit):
+    """add/sub/inc/dec with result == o_stop driving the NC signal."""
+
+    kind = "counter"
+
+    def _declare_ports(self) -> None:
+        self.add_port("o", PortKind.OPERAND)       # second ALU operand
+        self.add_port("o_stop", PortKind.OPERAND)  # loop stop value
+        self.add_port("t_add", PortKind.TRIGGER)   # r = t + o
+        self.add_port("t_sub", PortKind.TRIGGER)   # r = t - o
+        self.add_port("t_inc", PortKind.TRIGGER)   # r = t + 1
+        self.add_port("t_dec", PortKind.TRIGGER)   # r = t - 1
+        self.add_port("r", PortKind.RESULT)
+
+    def _execute(self, trigger_port: str, value: int, cycle: int) -> None:
+        if trigger_port == "t_add":
+            result = value + self.operand("o")
+        elif trigger_port == "t_sub":
+            result = value - self.operand("o")
+        elif trigger_port == "t_inc":
+            result = value + 1
+        elif trigger_port == "t_dec":
+            result = value - 1
+        else:
+            raise SimulationError(f"unknown counter trigger {trigger_port!r}")
+        result = truncate(result)
+        self.finish(cycle, {"r": result},
+                    result_bit=result == self.operand("o_stop"))

@@ -1,0 +1,43 @@
+"""Masker FU: masked bit insertion and bitwise logic.
+
+"The Masker sets the bits of a register according to a given mask and a
+given value" (paper §3): ``r = (t & ~mask) | (val & mask)``. The forwarding
+program uses it to rewrite the hop-limit byte inside header word 1 without
+disturbing the payload-length and next-header fields. Plain AND/OR/XOR
+triggers are provided as the degenerate cases hardware gets for free.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.tta.fu import FunctionalUnit
+from repro.tta.ports import PortKind, truncate
+
+
+class Masker(FunctionalUnit):
+    kind = "masker"
+
+    def _declare_ports(self) -> None:
+        self.add_port("o_mask", PortKind.OPERAND)
+        self.add_port("o_val", PortKind.OPERAND)
+        self.add_port("t", PortKind.TRIGGER)      # masked insert
+        self.add_port("t_and", PortKind.TRIGGER)  # r = t & o_val
+        self.add_port("t_or", PortKind.TRIGGER)   # r = t | o_val
+        self.add_port("t_xor", PortKind.TRIGGER)  # r = t ^ o_val
+        self.add_port("r", PortKind.RESULT)
+
+    def _execute(self, trigger_port: str, value: int, cycle: int) -> None:
+        mask = self.operand("o_mask")
+        val = self.operand("o_val")
+        if trigger_port == "t":
+            result = (value & ~mask) | (val & mask)
+        elif trigger_port == "t_and":
+            result = value & val
+        elif trigger_port == "t_or":
+            result = value | val
+        elif trigger_port == "t_xor":
+            result = value ^ val
+        else:
+            raise SimulationError(f"unknown masker trigger {trigger_port!r}")
+        result = truncate(result)
+        self.finish(cycle, {"r": result}, result_bit=result != 0)

@@ -1,0 +1,30 @@
+"""Matcher FU: masked equality over bitstrings.
+
+"The Matcher and the Masker are bitstring manipulation FUs that process
+only parts of their input operands according to a given mask. The Matcher
+reports its result to the Interconnection Network Controller by means of a
+result bit signal" (paper §3). The forwarding program uses one matcher per
+search strand to compare 32-bit slices of the destination address against
+routing-table prefixes under the prefix mask.
+"""
+
+from __future__ import annotations
+
+from repro.tta.fu import FunctionalUnit
+from repro.tta.ports import PortKind
+
+
+class Matcher(FunctionalUnit):
+    """result = ((trigger_value XOR reference) AND mask) == 0."""
+
+    kind = "matcher"
+
+    def _declare_ports(self) -> None:
+        self.add_port("o_ref", PortKind.OPERAND)
+        self.add_port("o_mask", PortKind.OPERAND)
+        self.add_port("t", PortKind.TRIGGER)
+        self.add_port("r", PortKind.RESULT)
+
+    def _execute(self, trigger_port: str, value: int, cycle: int) -> None:
+        matched = ((value ^ self.operand("o_ref")) & self.operand("o_mask")) == 0
+        self.finish(cycle, {"r": int(matched)}, result_bit=matched)

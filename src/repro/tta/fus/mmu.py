@@ -1,0 +1,41 @@
+"""Memory management unit: the data-memory port of the processor.
+
+One MMU = one memory port. With a single MMU, every load/store in flight
+serialises through its trigger port — the structural bottleneck that caps
+the benefit of tripling the matcher/counter/comparator counts in the
+sequential and tree rows of Table 1.
+
+Protocol: ``t_read`` is triggered with the address and produces the loaded
+word on ``r``; ``t_write`` is triggered with the *data* and takes the
+address from the ``o_addr`` operand latch.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.tta.fu import FunctionalUnit
+from repro.tta.memory import DataMemory
+from repro.tta.ports import PortKind
+
+
+class MemoryManagementUnit(FunctionalUnit):
+    kind = "mmu"
+
+    def __init__(self, name: str, memory: DataMemory):
+        self.memory = memory
+        super().__init__(name)
+
+    def _declare_ports(self) -> None:
+        self.add_port("o_addr", PortKind.OPERAND)
+        self.add_port("t_read", PortKind.TRIGGER)   # value = address
+        self.add_port("t_write", PortKind.TRIGGER)  # value = data
+        self.add_port("r", PortKind.RESULT)
+
+    def _execute(self, trigger_port: str, value: int, cycle: int) -> None:
+        if trigger_port == "t_read":
+            self.finish(cycle, {"r": self.memory.load(value)}, result_bit=True)
+        elif trigger_port == "t_write":
+            self.memory.store(self.operand("o_addr"), value)
+            self.finish(cycle, {}, result_bit=True)
+        else:
+            raise SimulationError(f"unknown MMU trigger {trigger_port!r}")

@@ -1,0 +1,38 @@
+"""Shifter FU: logical/arithmetic shifts.
+
+"In addition to logical shifting, a Shifter can also be used for
+arithmetical multiplication by 2" (paper §3) — the Fig. 3 optimisation
+example relies on exactly that (``b * 2`` and ``/ 4`` become shifts).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.tta.fu import FunctionalUnit
+from repro.tta.ports import PortKind, truncate
+
+
+class Shifter(FunctionalUnit):
+    """r = trigger_value shifted by the ``o`` operand (mod 32)."""
+
+    kind = "shifter"
+
+    def _declare_ports(self) -> None:
+        self.add_port("o", PortKind.OPERAND)      # shift amount
+        self.add_port("t_sll", PortKind.TRIGGER)  # shift left logical
+        self.add_port("t_srl", PortKind.TRIGGER)  # shift right logical
+        self.add_port("t_sra", PortKind.TRIGGER)  # shift right arithmetic
+        self.add_port("r", PortKind.RESULT)
+
+    def _execute(self, trigger_port: str, value: int, cycle: int) -> None:
+        amount = self.operand("o") & 31
+        if trigger_port == "t_sll":
+            result = truncate(value << amount)
+        elif trigger_port == "t_srl":
+            result = value >> amount
+        elif trigger_port == "t_sra":
+            signed = value - (1 << 32) if value & 0x80000000 else value
+            result = truncate(signed >> amount)
+        else:
+            raise SimulationError(f"unknown shifter trigger {trigger_port!r}")
+        self.finish(cycle, {"r": result}, result_bit=result != 0)

@@ -1,0 +1,145 @@
+"""Cycle-accurate simulation loop for TACO processors.
+
+Per cycle, in order:
+
+1. **Commit** — every FU applies operation results that mature this cycle
+   (results triggered ``latency`` cycles ago become readable; result bits
+   to the NC update).
+2. **Fetch** — the NC fetches the instruction at ``pc``.
+3. **Guard & read** — each move's guard is evaluated against the committed
+   result bits; sources of all surviving moves are read (start-of-cycle
+   values, so parallel moves never see each other's writes).
+4. **Write** — destinations are written in bus order; a write to a trigger
+   port starts that FU's operation; a write to ``nc.pc``/``nc.halt``
+   redirects or stops the fetch stream.
+5. **Tick** — autonomous units (ippu/oppu DMA engines) advance; the NC
+   advances to the next pc.
+
+This mirrors the paper's SystemC simulator's role: functional verification
+plus total cycle count plus per-bus/per-FU utilisation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.tta.instruction import Move
+from repro.tta.memory import ProgramMemory
+from repro.tta.ports import Immediate, PortRef
+from repro.tta.processor import TacoProcessor
+from repro.tta.stats import SimulationReport
+
+DEFAULT_MAX_CYCLES = 2_000_000
+
+
+class Simulator:
+    """Drives a :class:`TacoProcessor` through a program."""
+
+    def __init__(self, processor: TacoProcessor, program: ProgramMemory,
+                 strict: bool = True):
+        processor.validate_program(program)
+        self.processor = processor
+        self.program = program
+        self.strict = strict
+        self.report = SimulationReport(
+            bus_busy_cycles=[0] * processor.bus_count)
+        self.cycle = 0
+        #: optional observer: on_move(cycle, pc, bus, move, value);
+        #: value is None when a guard squashed the move
+        self.move_hook = None
+
+    # -- public API ---------------------------------------------------------------
+
+    def run(self, max_cycles: int = DEFAULT_MAX_CYCLES) -> SimulationReport:
+        """Run until the program halts; raises if *max_cycles* is exceeded."""
+        while not self.processor.nc.halted:
+            if self.cycle >= max_cycles:
+                raise SimulationError(
+                    f"program did not halt within {max_cycles} cycles "
+                    f"(pc={self.processor.nc.pc})")
+            self.step()
+        self.report.halted = True
+        return self.report
+
+    def run_cycles(self, count: int) -> SimulationReport:
+        """Run exactly *count* cycles (or fewer if the program halts)."""
+        for _ in range(count):
+            if self.processor.nc.halted:
+                break
+            self.step()
+        self.report.halted = self.processor.nc.halted
+        return self.report
+
+    def step(self) -> None:
+        """Execute one clock cycle."""
+        processor = self.processor
+        nc = processor.nc
+
+        # 1. commit matured results
+        for fu in processor.fus.values():
+            fu.commit(self.cycle)
+
+        # 2. fetch
+        instruction = self.program.fetch(nc.pc)
+        self.report.instructions_fetched += 1
+
+        # 3. guards + source reads
+        issued: List[Tuple[int, Move, int]] = []
+        for bus_index, move in enumerate(instruction.moves):
+            if move is None:
+                continue
+            if move.guard is not None:
+                guard_fu = processor.fu(move.guard.fu)
+                bit = guard_fu.result_bit
+                if move.guard.negate:
+                    bit = not bit
+                if not bit:
+                    self.report.moves_squashed += 1
+                    # The slot was occupied in the instruction word; count
+                    # the bus as driven, matching hardware activity.
+                    self.report.bus_busy_cycles[bus_index] += 1
+                    if self.move_hook is not None:
+                        self.move_hook(self.cycle, nc.pc, bus_index, move,
+                                       None)
+                    continue
+            value = self._read_source(move.source)
+            if self.move_hook is not None:
+                self.move_hook(self.cycle, nc.pc, bus_index, move, value)
+            issued.append((bus_index, move, value))
+
+        # 4. destination writes, in bus order
+        for bus_index, move, value in issued:
+            fu, _port = processor.resolve(move.destination)
+            fu.write(move.destination.port, value, self.cycle)
+            self.report.moves_executed += 1
+            self.report.bus_busy_cycles[bus_index] += 1
+
+        # 5. autonomous units tick; NC advances
+        for fu in processor.fus.values():
+            fu.tick(self.cycle)
+        nc.advance()
+
+        self.cycle += 1
+        self.report.cycles = self.cycle
+        for name, fu in processor.fus.items():
+            self.report.fu_triggers[name] = fu.trigger_count
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _read_source(self, source) -> int:
+        if isinstance(source, Immediate):
+            return source.value
+        if isinstance(source, PortRef):
+            fu = self.processor.fu(source.fu)
+            return fu.read(source.port, self.cycle, strict=self.strict)
+        raise SimulationError(f"unreadable move source: {source!r}")
+
+
+def simulate(processor: TacoProcessor, program: ProgramMemory,
+             max_cycles: int = DEFAULT_MAX_CYCLES,
+             strict: bool = True) -> SimulationReport:
+    """One-shot convenience: reset, run to halt, return the report."""
+    processor.reset()
+    simulator = Simulator(processor, program, strict=strict)
+    return simulator.run(max_cycles=max_cycles)

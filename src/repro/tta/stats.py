@@ -1,0 +1,79 @@
+"""Simulation statistics: cycle counts and bus/FU utilisation.
+
+These are exactly the outputs the paper's SystemC simulations yield: "the
+simulations yield functional correctness information as well as the total
+cycle count of the application", and Table 1's "Bus util. [%]" column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class SimulationReport:
+    """Everything measured during one simulation run."""
+
+    cycles: int = 0
+    instructions_fetched: int = 0
+    moves_executed: int = 0
+    moves_squashed: int = 0
+    bus_busy_cycles: List[int] = field(default_factory=list)
+    fu_triggers: Dict[str, int] = field(default_factory=dict)
+    halted: bool = False
+
+    @property
+    def bus_count(self) -> int:
+        return len(self.bus_busy_cycles)
+
+    @property
+    def bus_utilization(self) -> float:
+        """Fraction of bus-slot-cycles that carried a move (0..1)."""
+        total_slots = self.cycles * max(self.bus_count, 1)
+        if total_slots == 0:
+            return 0.0
+        return sum(self.bus_busy_cycles) / total_slots
+
+    def per_bus_utilization(self) -> List[float]:
+        if self.cycles == 0:
+            return [0.0] * self.bus_count
+        return [busy / self.cycles for busy in self.bus_busy_cycles]
+
+    def fu_utilization(self, fu_name: str) -> float:
+        """Triggers per cycle for one FU (an upper-bound activity measure)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.fu_triggers.get(fu_name, 0) / self.cycles
+
+    def merge(self, other: "SimulationReport") -> "SimulationReport":
+        """Accumulate a second run (used when simulating packet batches)."""
+        if other.bus_count != self.bus_count and self.cycles:
+            raise ValueError("cannot merge reports with different bus counts")
+        merged = SimulationReport(
+            cycles=self.cycles + other.cycles,
+            instructions_fetched=self.instructions_fetched + other.instructions_fetched,
+            moves_executed=self.moves_executed + other.moves_executed,
+            moves_squashed=self.moves_squashed + other.moves_squashed,
+            bus_busy_cycles=[a + b for a, b in zip(
+                self.bus_busy_cycles or [0] * other.bus_count,
+                other.bus_busy_cycles)],
+            fu_triggers=dict(self.fu_triggers),
+            halted=other.halted,
+        )
+        for name, count in other.fu_triggers.items():
+            merged.fu_triggers[name] = merged.fu_triggers.get(name, 0) + count
+        return merged
+
+    def summary(self) -> str:
+        lines = [
+            f"cycles:             {self.cycles}",
+            f"moves executed:     {self.moves_executed}",
+            f"moves squashed:     {self.moves_squashed}",
+            f"bus utilisation:    {self.bus_utilization * 100:.1f}%",
+        ]
+        for i, util in enumerate(self.per_bus_utilization()):
+            lines.append(f"  bus {i}:            {util * 100:.1f}%")
+        for name in sorted(self.fu_triggers):
+            lines.append(f"  {name} triggers: {self.fu_triggers[name]}")
+        return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Workload generators: routing tables and synthetic IPv6 traffic."""
+
+from repro.workload.packets import (
+    PACKET_SIZE_MIX,
+    build_datagram,
+    forwarding_workload,
+    mean_packet_bytes,
+    worst_case_workload,
+)
+from repro.workload.tables import (
+    PREFIX_LENGTH_MIX,
+    addresses_for_routes,
+    address_inside,
+    generate_routes,
+    random_prefix,
+)
+
+__all__ = [
+    "PACKET_SIZE_MIX", "build_datagram", "forwarding_workload",
+    "mean_packet_bytes", "worst_case_workload",
+    "PREFIX_LENGTH_MIX", "addresses_for_routes", "address_inside",
+    "generate_routes", "random_prefix",
+]

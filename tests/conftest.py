@@ -1,0 +1,27 @@
+"""Shared fixtures: routing workloads and small packet batches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload import forwarding_workload, generate_routes, worst_case_workload
+
+
+@pytest.fixture(scope="session")
+def routes100():
+    return generate_routes(100)
+
+
+@pytest.fixture(scope="session")
+def routes20():
+    return generate_routes(20, seed=11)
+
+
+@pytest.fixture(scope="session")
+def worst_packets(routes100):
+    return worst_case_workload(routes100, 6)
+
+
+@pytest.fixture(scope="session")
+def mixed_packets(routes100):
+    return forwarding_workload(routes100, 6, default_route_fraction=0.3)

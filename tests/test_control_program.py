@@ -1,0 +1,93 @@
+"""Control-plane TACO program: UDP/RIPng checksum verification on-chip."""
+
+import pytest
+
+from repro.dse.config import ArchitectureConfiguration
+from repro.ipv6.address import Ipv6Address
+from repro.ipv6.checksum import ones_complement_sum, pseudo_header
+from repro.ipv6.header import PROTO_UDP
+from repro.ipv6.packet import Ipv6Datagram
+from repro.ipv6.ripng import RIPNG_MULTICAST_GROUP, RIPNG_PORT, response
+from repro.ipv6.ripng import RouteTableEntry
+from repro.ipv6.address import Ipv6Prefix
+from repro.ipv6.udp import UdpDatagram
+from repro.programs.control import verify_udp_checksum
+from repro.programs.machine import build_machine
+
+SENDER = Ipv6Address.parse("fe80::42")
+
+
+def make_ripng_datagram(entries=3):
+    rtes = [RouteTableEntry(prefix=Ipv6Prefix.parse(f"2001:{i + 1:x}::/32"),
+                            metric=(i % 15) + 1) for i in range(entries)]
+    udp = UdpDatagram(RIPNG_PORT, RIPNG_PORT, response(rtes).to_bytes())
+    datagram = Ipv6Datagram.build(
+        source=SENDER, destination=RIPNG_MULTICAST_GROUP,
+        next_header=PROTO_UDP,
+        payload=udp.to_bytes(SENDER, RIPNG_MULTICAST_GROUP),
+        hop_limit=255)
+    return datagram.to_bytes()
+
+
+@pytest.fixture
+def machine():
+    config = ArchitectureConfiguration(bus_count=2, table_kind="cam")
+    return build_machine(config)
+
+
+def store(machine, raw):
+    slot = machine.slots.allocate()
+    machine.slots.store_datagram(slot, raw, interface=0)
+    return slot
+
+
+class TestChecksumProgram:
+    def test_valid_datagram_verifies(self, machine):
+        raw = make_ripng_datagram()
+        slot = store(machine, raw)
+        valid, accumulator, cycles = verify_udp_checksum(machine, slot)
+        assert valid
+        assert accumulator == 0xFFFF
+        assert cycles > 10
+
+    def test_accumulator_matches_reference(self, machine):
+        raw = make_ripng_datagram(entries=5)
+        slot = store(machine, raw)
+        _valid, accumulator, _ = verify_udp_checksum(machine, slot)
+        src = Ipv6Address.from_bytes(raw[8:24])
+        dst = Ipv6Address.from_bytes(raw[24:40])
+        payload = raw[40:]
+        expected = ones_complement_sum(
+            pseudo_header(src, dst, len(payload), PROTO_UDP) + payload)
+        assert accumulator == expected
+
+    @pytest.mark.parametrize("byte_index", [8, 24, 41, 47, 60])
+    def test_corruption_detected(self, machine, byte_index):
+        raw = bytearray(make_ripng_datagram())
+        raw[byte_index] ^= 0x04
+        slot = store(machine, bytes(raw))
+        valid, accumulator, _ = verify_udp_checksum(machine, slot)
+        assert not valid
+        assert accumulator != 0xFFFF
+
+    def test_cycle_cost_scales_with_payload(self, machine):
+        small = store(machine, make_ripng_datagram(entries=1))
+        _, _, small_cycles = verify_udp_checksum(machine, small)
+        big = store(machine, make_ripng_datagram(entries=20))
+        _, _, big_cycles = verify_udp_checksum(machine, big)
+        # 19 extra RTEs = 95 extra payload words to fold
+        assert big_cycles > small_cycles + 90
+
+    def test_odd_length_payload(self, machine):
+        # trailing partial word is zero-padded in the slot, which is
+        # exactly the RFC 1071 padding rule
+        udp = UdpDatagram(RIPNG_PORT, RIPNG_PORT, b"xyz")
+        datagram = Ipv6Datagram.build(
+            source=SENDER, destination=RIPNG_MULTICAST_GROUP,
+            next_header=PROTO_UDP,
+            payload=udp.to_bytes(SENDER, RIPNG_MULTICAST_GROUP),
+            hop_limit=255)
+        slot = store(machine, datagram.to_bytes())
+        valid, accumulator, _ = verify_udp_checksum(machine, slot)
+        assert valid
+        assert accumulator == 0xFFFF

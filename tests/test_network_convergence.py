@@ -1,0 +1,105 @@
+"""Multi-router RIPng convergence on synthetic topologies."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.ipv6.address import Ipv6Prefix
+from repro.router import line_topology, ring_topology
+from repro.router.network import Network
+from repro.router.router import Ipv6Router
+from repro.ipv6.address import Ipv6Address
+
+
+class TestLineTopology:
+    def test_metrics_reflect_distance(self):
+        network = line_topology(4)
+        network.run_until_converged()
+        prefix = Ipv6Prefix.parse("2001:db8:3:2::/64")
+        metrics = [network.route_metric(f"r{i}", prefix) for i in range(4)]
+        assert metrics == [4, 3, 2, 1]
+        assert network.tables_agree_on(prefix)
+
+    def test_convergence_detected(self):
+        report = line_topology(3).run_until_converged()
+        assert report.converged
+        assert report.messages_delivered > 0
+
+    def test_bidirectional_reachability(self):
+        network = line_topology(3)
+        network.run_until_converged()
+        left = Ipv6Prefix.parse("2001:db8:0:1::/64")
+        right = Ipv6Prefix.parse("2001:db8:2:2::/64")
+        assert network.route_metric("r2", left) == 3
+        assert network.route_metric("r0", right) == 3
+
+
+class TestRingTopology:
+    def test_shortest_path_chosen(self):
+        network = ring_topology(5)
+        network.run_until_converged()
+        prefix = Ipv6Prefix.parse("2001:db8:0:1::/64")
+        metrics = [network.route_metric(f"r{i}", prefix) for i in range(5)]
+        # around a 5-ring, distances from r0: 0,1,2,2,1 (+1 base metric)
+        assert metrics == [1, 2, 3, 3, 2]
+
+
+class TestFailure:
+    def test_link_cut_reroutes_in_ring(self):
+        network = ring_topology(4)
+        network.run_until_converged()
+        prefix = Ipv6Prefix.parse("2001:db8:0:1::/64")
+        assert network.route_metric("r3", prefix) == 2  # direct ring link
+        # cut the closing link: r3 must reach r0 the long way (via r2, r1).
+        # Failure is detected by route timeout (180 s), so advance a fixed
+        # horizon well past timeout + garbage collection.
+        closing = network.links[-1]
+        closing.up = False
+        for _ in range(400):
+            network.step()
+        assert network.route_metric("r3", prefix) == 4
+
+    def test_line_cut_counts_to_infinity_bounded(self):
+        network = line_topology(3)
+        network.run_until_converged()
+        prefix = Ipv6Prefix.parse("2001:db8:2:2::/64")
+        assert network.route_metric("r0", prefix) == 3
+        network.set_link_state(("r1", 1), up=False)
+        network.set_link_state(("r2", 0), up=False)
+        for _ in range(600):  # past timeout + garbage collection
+            network.step()
+        metric = network.route_metric("r0", prefix)
+        assert metric is None or metric >= 16
+
+
+class TestNetworkConstruction:
+    def test_duplicate_router_rejected(self):
+        network = Network()
+        router = Ipv6Router("x", [Ipv6Address.parse("2001:db8::1")])
+        network.add_router(router)
+        with pytest.raises(ReproError):
+            network.add_router(
+                Ipv6Router("x", [Ipv6Address.parse("2001:db8::2")]))
+
+    def test_bad_endpoint_rejected(self):
+        network = Network()
+        network.add_router(Ipv6Router("a", [Ipv6Address.parse("2001::1")]))
+        with pytest.raises(ReproError):
+            network.connect(("a", 0), ("ghost", 0))
+        with pytest.raises(ReproError):
+            network.connect(("a", 5), ("a", 0))
+
+    def test_endpoint_reuse_rejected(self):
+        network = Network()
+        for name in ("a", "b", "c"):
+            network.add_router(Ipv6Router(
+                name, [Ipv6Address.parse("2001::1"),
+                       Ipv6Address.parse("2001::2")]))
+        network.connect(("a", 0), ("b", 0))
+        with pytest.raises(ReproError):
+            network.connect(("a", 0), ("c", 0))
+
+    def test_minimum_sizes(self):
+        with pytest.raises(ReproError):
+            line_topology(1)
+        with pytest.raises(ReproError):
+            ring_topology(2)

@@ -1,0 +1,123 @@
+"""RIPng message codec (RFC 2080 wire format)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import RipngError
+from repro.ipv6.address import Ipv6Address, Ipv6Prefix
+from repro.ipv6.ripng import (
+    COMMAND_REQUEST,
+    COMMAND_RESPONSE,
+    METRIC_INFINITY,
+    NEXT_HOP_METRIC,
+    NextHopEntry,
+    RipngMessage,
+    RouteTableEntry,
+    is_full_table_request,
+    request_full_table,
+    response,
+)
+
+
+def rte(prefix_text, metric=2, tag=0):
+    return RouteTableEntry(prefix=Ipv6Prefix.parse(prefix_text),
+                           metric=metric, route_tag=tag)
+
+
+class TestEntries:
+    def test_rte_encoding(self):
+        entry = rte("2001:db8::/32", metric=5, tag=0x1234)
+        wire = entry.to_bytes()
+        assert len(wire) == 20
+        assert wire[:16] == Ipv6Address.parse("2001:db8::").to_bytes()
+        assert wire[16:18] == b"\x12\x34"
+        assert wire[18] == 32
+        assert wire[19] == 5
+
+    def test_next_hop_encoding(self):
+        entry = NextHopEntry(next_hop=Ipv6Address.parse("fe80::1"))
+        wire = entry.to_bytes()
+        assert wire[19] == NEXT_HOP_METRIC
+        assert wire[16:19] == b"\x00\x00\x00"
+
+    def test_metric_range(self):
+        with pytest.raises(RipngError):
+            rte("::/0", metric=0)
+        with pytest.raises(RipngError):
+            rte("::/0", metric=17)
+
+    def test_tag_range(self):
+        with pytest.raises(RipngError):
+            rte("::/0", metric=1, tag=70000)
+
+
+class TestMessages:
+    def test_response_round_trip(self):
+        message = response([rte("2001:db8::/32"), rte("2001:dead::/48", 7)])
+        parsed = RipngMessage.from_bytes(message.to_bytes())
+        assert parsed == message
+        assert parsed.command == COMMAND_RESPONSE
+
+    def test_next_hop_grouping(self):
+        gateway = Ipv6Address.parse("fe80::42")
+        message = RipngMessage(command=COMMAND_RESPONSE, entries=(
+            rte("2001:a::/32"),
+            NextHopEntry(next_hop=gateway),
+            rte("2001:b::/32"),
+            NextHopEntry(next_hop=Ipv6Address.parse("::")),
+            rte("2001:c::/32"),
+        ))
+        routes = RipngMessage.from_bytes(message.to_bytes()).routes()
+        assert routes[0][1] is None          # before any next-hop RTE
+        assert routes[1][1] == gateway       # explicit gateway
+        assert routes[2][1] is None          # :: resets to the sender
+
+    def test_full_table_request(self):
+        message = request_full_table()
+        assert is_full_table_request(message)
+        parsed = RipngMessage.from_bytes(message.to_bytes())
+        assert is_full_table_request(parsed)
+        assert parsed.command == COMMAND_REQUEST
+
+    def test_specific_request_is_not_full_table(self):
+        message = RipngMessage(command=COMMAND_REQUEST,
+                               entries=(rte("2001:db8::/32", 1),))
+        assert not is_full_table_request(message)
+
+    def test_bad_command_rejected(self):
+        with pytest.raises(RipngError):
+            RipngMessage(command=9, entries=())
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(RipngError):
+            RipngMessage(command=COMMAND_RESPONSE, entries=(), version=2)
+
+    def test_ragged_body_rejected(self):
+        wire = response([rte("2001:db8::/32")]).to_bytes()
+        with pytest.raises(RipngError):
+            RipngMessage.from_bytes(wire[:-3])
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(RipngError):
+            RipngMessage.from_bytes(b"\x02")
+
+    def test_host_bits_normalised_on_parse(self):
+        # a sloppy sender sets bits below the prefix length; we truncate
+        entry = rte("2001:db8::/32", metric=3)
+        wire = bytearray(response([entry]).to_bytes())
+        wire[4 + 15] = 0xFF  # low byte of the prefix address field
+        parsed = RipngMessage.from_bytes(bytes(wire))
+        (parsed_entry, _), = parsed.routes()
+        assert parsed_entry.prefix == Ipv6Prefix.parse("2001:db8::/32")
+
+    @given(st.lists(st.tuples(
+        st.integers(min_value=0, max_value=(1 << 128) - 1),
+        st.integers(min_value=0, max_value=128),
+        st.integers(min_value=1, max_value=METRIC_INFINITY)),
+        max_size=24))
+    def test_round_trip_property(self, raw_entries):
+        entries = [RouteTableEntry(
+            prefix=Ipv6Prefix.of(Ipv6Address(value), length), metric=metric)
+            for value, length, metric in raw_entries]
+        message = response(entries)
+        assert RipngMessage.from_bytes(message.to_bytes()) == message

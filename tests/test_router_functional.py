@@ -1,0 +1,131 @@
+"""Golden router model: forwarding, local delivery, ICMP errors."""
+
+import pytest
+
+from repro.ipv6.address import Ipv6Address, Ipv6Prefix
+from repro.ipv6.header import PROTO_ICMPV6, PROTO_UDP
+from repro.ipv6.icmpv6 import (
+    TYPE_DESTINATION_UNREACHABLE,
+    TYPE_TIME_EXCEEDED,
+    Icmpv6Message,
+)
+from repro.ipv6.packet import Ipv6Datagram
+from repro.router import Ipv6Router
+from repro.routing.entry import RouteEntry
+from repro.workload import build_datagram
+
+A0 = Ipv6Address.parse("2001:db8:0:1::1")
+A1 = Ipv6Address.parse("2001:db8:0:2::1")
+
+
+@pytest.fixture
+def router():
+    r = Ipv6Router("r", [A0, A1], enable_ripng=False)
+    r.table.insert(RouteEntry(prefix=Ipv6Prefix.parse("2001:aa::/32"),
+                              next_hop=Ipv6Address.parse("fe80::2"),
+                              interface=1))
+    r.table.insert(RouteEntry(prefix=Ipv6Prefix.parse("::/0"),
+                              next_hop=Ipv6Address.parse("fe80::1"),
+                              interface=0))
+    return r
+
+
+class TestForwarding:
+    def test_forwards_and_decrements(self, router):
+        raw = build_datagram(Ipv6Address.parse("2001:aa::5"), hop_limit=9)
+        router.receive(0, raw)
+        (sent,) = router.line_cards[1].transmitted
+        assert sent[7] == 8
+        assert sent[:7] == raw[:7]
+        assert router.stats.forwarded == 1
+
+    def test_default_route_fallback(self, router):
+        raw = build_datagram(Ipv6Address.parse("3fff::1"))
+        router.receive(1, raw)
+        assert len(router.line_cards[0].transmitted) == 1
+
+    def test_drop_counters(self, router):
+        bad_version = bytearray(build_datagram(Ipv6Address.parse("2001:aa::5")))
+        bad_version[0] = 0x45
+        router.receive(0, bytes(bad_version))
+        assert router.stats.dropped.get("bad-version") == 1
+        assert router.stats.forwarded == 0
+
+    def test_poll_inputs_drains_cards(self, router):
+        for _ in range(3):
+            router.line_cards[0].deliver(
+                build_datagram(Ipv6Address.parse("2001:aa::5")))
+        assert router.poll_inputs() == 3
+        assert router.stats.forwarded == 3
+
+
+class TestIcmpErrors:
+    def test_hop_limit_exhaustion_sends_time_exceeded(self, router):
+        source = Ipv6Address.parse("2001:aa::9")
+        raw = build_datagram(Ipv6Address.parse("3fff::1"), hop_limit=1,
+                             source=source)
+        router.receive(0, raw)
+        # error goes toward the source, which routes via interface 1
+        (sent,) = router.line_cards[1].transmitted
+        datagram = Ipv6Datagram.from_bytes(sent)
+        assert datagram.header.next_header == PROTO_ICMPV6
+        message = Icmpv6Message.from_bytes(
+            datagram.payload, datagram.header.source,
+            datagram.header.destination)
+        assert message.type == TYPE_TIME_EXCEEDED
+        assert raw[:40] in message.body
+
+    def test_no_route_sends_destination_unreachable(self):
+        router = Ipv6Router("r", [A0, A1], enable_ripng=False)
+        router.table.insert(RouteEntry(
+            prefix=Ipv6Prefix.parse("2001:aa::/32"),
+            next_hop=Ipv6Address.parse("fe80::2"), interface=1))
+        source = Ipv6Address.parse("2001:aa::9")
+        raw = build_datagram(Ipv6Address.parse("3fff::1"), source=source)
+        router.receive(0, raw)
+        (sent,) = router.line_cards[1].transmitted
+        datagram = Ipv6Datagram.from_bytes(sent)
+        message = Icmpv6Message.from_bytes(
+            datagram.payload, datagram.header.source,
+            datagram.header.destination)
+        assert message.type == TYPE_DESTINATION_UNREACHABLE
+        assert router.stats.dropped.get("no-route") == 1
+
+    def test_no_error_for_multicast_source(self, router):
+        raw = build_datagram(Ipv6Address.parse("3fff::1"), hop_limit=1,
+                             source=Ipv6Address.parse("ff02::5"))
+        router.receive(0, raw)
+        assert not router.line_cards[0].transmitted
+        assert not router.line_cards[1].transmitted
+
+
+class TestLocalDelivery:
+    def test_datagram_to_router_address_is_local(self, router):
+        raw = build_datagram(A0, hop_limit=64)
+        router.receive(0, raw)
+        assert router.stats.delivered_local == 1
+        assert router.stats.forwarded == 0
+
+    def test_ripng_multicast_consumed_by_engine(self):
+        router = Ipv6Router("r", [A0, A1])  # RIPng enabled
+        from repro.ipv6.ripng import RIPNG_MULTICAST_GROUP, response, RouteTableEntry
+        from repro.ipv6.udp import UdpDatagram
+        entry = RouteTableEntry(prefix=Ipv6Prefix.parse("2001:bb::/32"),
+                                metric=2)
+        sender = Ipv6Address.parse("fe80::77")
+        udp = UdpDatagram(521, 521, response([entry]).to_bytes())
+        datagram = Ipv6Datagram.build(
+            source=sender, destination=RIPNG_MULTICAST_GROUP,
+            next_header=PROTO_UDP,
+            payload=udp.to_bytes(sender, RIPNG_MULTICAST_GROUP),
+            hop_limit=255)
+        router.receive(1, datagram.to_bytes())
+        assert router.stats.ripng_messages == 1
+        result = router.table.lookup(Ipv6Address.parse("2001:bb::1"))
+        assert result is not None
+        assert result.entry.metric == 3  # incremented on receipt
+        assert result.interface == 1
+
+    def test_interface_bounds_checked(self, router):
+        with pytest.raises(Exception):
+            router.receive(9, build_datagram(A0))

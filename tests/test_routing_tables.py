@@ -1,0 +1,245 @@
+"""Routing-table implementations: semantics, invariants, cost shapes."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RoutingTableError
+from repro.ipv6.address import Ipv6Address, Ipv6Prefix
+from repro.routing import (
+    BalancedTreeRoutingTable,
+    CamRoutingTable,
+    SequentialRoutingTable,
+    TABLE_KINDS,
+    make_table,
+)
+from repro.routing.cam import CamPhysicalModel
+from repro.routing.entry import RouteEntry
+
+ALL_TABLES = [SequentialRoutingTable, BalancedTreeRoutingTable,
+              CamRoutingTable]
+
+
+def entry(prefix_text, interface=0, metric=1):
+    prefix = Ipv6Prefix.parse(prefix_text)
+    return RouteEntry(prefix=prefix, next_hop=Ipv6Address(interface + 1),
+                      interface=interface, metric=metric)
+
+
+def addr(text):
+    return Ipv6Address.parse(text)
+
+
+@pytest.mark.parametrize("table_cls", ALL_TABLES)
+class TestCommonSemantics:
+    def test_longest_prefix_wins(self, table_cls):
+        table = table_cls()
+        table.insert(entry("::/0", 0))
+        table.insert(entry("2001::/16", 1))
+        table.insert(entry("2001:db8::/32", 2))
+        result = table.lookup(addr("2001:db8::1"))
+        assert result.interface == 2
+        assert table.lookup(addr("2001:1::1")).interface == 1
+        assert table.lookup(addr("9::1")).interface == 0
+
+    def test_miss_without_default(self, table_cls):
+        table = table_cls()
+        table.insert(entry("2001:db8::/32"))
+        assert table.lookup(addr("3fff::1")) is None
+
+    def test_replace_same_prefix(self, table_cls):
+        table = table_cls()
+        table.insert(entry("2001:db8::/32", 1))
+        table.insert(entry("2001:db8::/32", 3))
+        assert len(table) == 1
+        assert table.lookup(addr("2001:db8::5")).interface == 3
+
+    def test_remove(self, table_cls):
+        table = table_cls()
+        table.insert(entry("::/0", 0))
+        table.insert(entry("2001:db8::/32", 2))
+        table.remove(Ipv6Prefix.parse("2001:db8::/32"))
+        assert table.lookup(addr("2001:db8::1")).interface == 0
+
+    def test_remove_missing_raises(self, table_cls):
+        table = table_cls()
+        with pytest.raises(RoutingTableError):
+            table.remove(Ipv6Prefix.parse("2001:db8::/32"))
+
+    def test_capacity_enforced(self, table_cls):
+        table = table_cls(capacity=2)
+        table.insert(entry("2001:a::/32"))
+        table.insert(entry("2001:b::/32"))
+        with pytest.raises(RoutingTableError):
+            table.insert(entry("2001:c::/32"))
+        # replacement of an existing prefix is always allowed
+        table.insert(entry("2001:a::/32", 3))
+
+    def test_exact_get(self, table_cls):
+        table = table_cls()
+        table.insert(entry("2001:db8::/32", 2))
+        assert table.get(Ipv6Prefix.parse("2001:db8::/32")).interface == 2
+        assert table.get(Ipv6Prefix.parse("2001:db8::/48")) is None
+        assert Ipv6Prefix.parse("2001:db8::/32") in table
+
+    def test_iteration_and_clear(self, table_cls):
+        table = table_cls()
+        for i, text in enumerate(("::/0", "2001::/16", "2001:db8::/32")):
+            table.insert(entry(text, i))
+        assert {e.interface for e in table} == {0, 1, 2}
+        table.clear()
+        assert len(table) == 0
+
+    def test_stats_recorded(self, table_cls):
+        table = table_cls()
+        table.insert(entry("::/0"))
+        table.lookup(addr("2001::1"))
+        table.lookup(addr("2002::1"))
+        assert table.stats.lookups == 2
+        assert table.stats.hits == 2
+        assert table.stats.inserts == 1
+
+
+prefix_strategy = st.tuples(
+    st.integers(min_value=0, max_value=(1 << 128) - 1),
+    st.sampled_from([0, 8, 16, 24, 32, 48, 64, 96, 128]),
+).map(lambda t: Ipv6Prefix.of(Ipv6Address(t[0]), t[1]))
+
+
+class TestEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(prefix_strategy, min_size=1, max_size=40,
+                    unique=True),
+           st.lists(st.integers(min_value=0, max_value=(1 << 128) - 1),
+                    min_size=1, max_size=30))
+    def test_three_implementations_agree(self, prefixes, probe_values):
+        tables = [make_table(kind, capacity=64) for kind in TABLE_KINDS]
+        for i, prefix in enumerate(prefixes):
+            e = RouteEntry(prefix=prefix, next_hop=Ipv6Address(i + 1),
+                           interface=i % 4)
+            for table in tables:
+                table.insert(e)
+        for value in probe_values:
+            probe = Ipv6Address(value)
+            results = [t.lookup(probe) for t in tables]
+            entries = [r.entry if r else None for r in results]
+            assert entries[0] == entries[1] == entries[2]
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(prefix_strategy, min_size=4, max_size=30, unique=True),
+           st.data())
+    def test_agreement_survives_removals(self, prefixes, data):
+        tables = [make_table(kind, capacity=64) for kind in TABLE_KINDS]
+        for i, prefix in enumerate(prefixes):
+            e = RouteEntry(prefix=prefix, next_hop=Ipv6Address(i + 1),
+                           interface=i % 4)
+            for table in tables:
+                table.insert(e)
+        victims = data.draw(st.lists(st.sampled_from(prefixes), max_size=5,
+                                     unique=True))
+        for victim in victims:
+            for table in tables:
+                table.remove(victim)
+        tables[1].check_invariants()  # type: ignore[attr-defined]
+        for prefix in prefixes:
+            probe = Ipv6Address(prefix.network.value | 1)
+            entries = [r.entry if (r := t.lookup(probe)) else None
+                       for t in tables]
+            assert entries[0] == entries[1] == entries[2]
+
+
+class TestBalancedTree:
+    def test_avl_invariants_random_ops(self):
+        rng = random.Random(42)
+        table = BalancedTreeRoutingTable(capacity=256)
+        live = []
+        for step in range(400):
+            if live and rng.random() < 0.4:
+                victim = live.pop(rng.randrange(len(live)))
+                table.remove(victim)
+            else:
+                prefix = Ipv6Prefix.of(Ipv6Address(rng.getrandbits(128)),
+                                       rng.choice([8, 16, 32, 64, 128]))
+                if prefix not in table:
+                    table.insert(RouteEntry(prefix=prefix,
+                                            next_hop=Ipv6Address(1),
+                                            interface=0))
+                    live.append(prefix)
+            table.check_invariants()
+
+    def test_logarithmic_height(self):
+        table = BalancedTreeRoutingTable(capacity=1024)
+        rng = random.Random(7)
+        for i in range(500):
+            prefix = Ipv6Prefix.of(Ipv6Address(rng.getrandbits(128)), 64)
+            if prefix not in table:
+                table.insert(RouteEntry(prefix=prefix,
+                                        next_hop=Ipv6Address(1),
+                                        interface=0))
+        # AVL guarantees height <= 1.44 log2(n+2)
+        import math
+        assert table.tree_height() <= 1.44 * math.log2(len(table) + 2) + 1
+
+    def test_nested_prefix_chain(self):
+        table = BalancedTreeRoutingTable()
+        for length, iface in ((0, 0), (16, 1), (32, 2), (48, 3), (64, 4)):
+            table.insert(RouteEntry(
+                prefix=Ipv6Prefix.of(addr("2001:db8:1:2::"), length),
+                next_hop=Ipv6Address(1), interface=iface))
+        assert table.lookup(addr("2001:db8:1:2::9")).interface == 4
+        assert table.lookup(addr("2001:db8:1:3::9")).interface == 3
+        assert table.lookup(addr("2001:db8:2::9")).interface == 2
+        assert table.lookup(addr("2001:1::9")).interface == 1
+        assert table.lookup(addr("9999::9")).interface == 0
+
+
+class TestCostShapes:
+    def test_sequential_linear_tree_log_cam_constant(self):
+        rng = random.Random(3)
+        kinds = {}
+        for kind in TABLE_KINDS:
+            table = make_table(kind, capacity=128)
+            for i in range(100):
+                while True:
+                    prefix = Ipv6Prefix.of(Ipv6Address(rng.getrandbits(128)),
+                                           64)
+                    if prefix not in table:
+                        break
+                table.insert(RouteEntry(prefix=prefix,
+                                        next_hop=Ipv6Address(1), interface=0))
+            for _ in range(200):
+                table.lookup(Ipv6Address(rng.getrandbits(128)))
+            kinds[kind] = table.stats.mean_lookup_steps
+        assert kinds["cam"] == 1.0
+        assert kinds["balanced-tree"] < 20
+        assert kinds["sequential"] > 50
+
+
+class TestCam:
+    def test_priority_order_by_length(self):
+        table = CamRoutingTable()
+        table.insert(entry("::/0", 0))
+        table.insert(entry("2001:db8::/32", 1))
+        table.insert(entry("2001::/16", 2))
+        lengths = [p.length for p in table.priority_order()]
+        assert lengths == sorted(lengths, reverse=True)
+
+    def test_physical_model_power_scales(self):
+        model = CamPhysicalModel()
+        assert model.power_at(133.0) == pytest.approx(1.75)
+        assert model.power_at(66.5) == pytest.approx(0.875)
+        assert model.power_at(266.0) == pytest.approx(1.75)  # capped
+
+    def test_search_cycles_ceiling(self):
+        model = CamPhysicalModel()
+        assert model.search_cycles(25e6) == 1       # 40 ns at 25 MHz
+        assert model.search_cycles(100e6) == 4
+        assert model.search_cycles(1e9) == 40
+
+    def test_bad_clock_rejected(self):
+        model = CamPhysicalModel()
+        with pytest.raises(RoutingTableError):
+            model.power_at(0)
+        with pytest.raises(RoutingTableError):
+            model.search_cycles(-1)

@@ -1,0 +1,122 @@
+"""Property test: scheduling preserves program semantics on any bus count.
+
+Random straight-line move programs over counters/shifters/maskers and a
+register file are scheduled onto 1, 2, and 3 buses; the architectural
+state (all register-file contents and FU result latches) after execution
+must be identical to the sequential (1-bus, in-order) semantics.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asm import ProgramBuilder, assemble
+from repro.tta import (
+    DataMemory,
+    Interconnect,
+    PortRef,
+    RegisterFileUnit,
+    TacoProcessor,
+    simulate,
+)
+from repro.tta.fus import Counter, Masker, Shifter
+
+P = PortRef
+
+REGISTERS = [f"r{i}" for i in range(6)]
+
+# operation templates: (unit, trigger, operand port)
+OPERATIONS = [
+    ("cnt0", "t_add", "o"),
+    ("cnt0", "t_sub", "o"),
+    ("cnt0", "t_inc", None),
+    ("shf0", "t_sll", "o"),
+    ("shf0", "t_srl", "o"),
+    ("msk0", "t_and", "o_val"),
+    ("msk0", "t_or", "o_val"),
+    ("msk0", "t_xor", "o_val"),
+]
+
+operation_strategy = st.tuples(
+    st.sampled_from(OPERATIONS),
+    st.integers(min_value=0, max_value=0xFFFF),   # operand immediate
+    st.sampled_from(REGISTERS),                   # input register
+    st.sampled_from(REGISTERS),                   # output register
+)
+
+
+def make_processor(buses: int) -> TacoProcessor:
+    return TacoProcessor(
+        Interconnect(bus_count=buses),
+        [Counter("cnt0"), Shifter("shf0"), Masker("msk0"),
+         RegisterFileUnit("gpr", len(REGISTERS))],
+        data_memory=DataMemory(64))
+
+
+def build_program(operations) -> "tuple":
+    b = ProgramBuilder()
+    b.block("entry")
+    for i, register in enumerate(REGISTERS):
+        b.move(i * 3 + 1, P("gpr", register))
+    for (unit, trigger, operand), imm, src, dst in operations:
+        if operand is not None:
+            b.move(imm, P(unit, operand))
+        b.move(P("gpr", src), P(unit, trigger))
+        b.move(P(unit, "r"), P("gpr", dst))
+    b.halt()
+    return b.build()
+
+
+def architectural_state(processor: TacoProcessor) -> dict:
+    state = {}
+    for register in REGISTERS:
+        state[f"gpr.{register}"] = processor.fu("gpr").ports[register].value
+    for unit in ("cnt0", "shf0", "msk0"):
+        state[f"{unit}.r"] = processor.fu(unit).ports["r"].value
+    return state
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(operation_strategy, min_size=1, max_size=20),
+       st.booleans())
+def test_schedule_equivalence_across_bus_counts(operations, optimize):
+    ir = build_program(operations)
+    reference = None
+    for buses in (1, 2, 3):
+        processor = make_processor(buses)
+        program = assemble(ir, processor, optimize_code=optimize)
+        simulate(processor, program)
+        state = architectural_state(processor)
+        if reference is None:
+            reference = state
+        else:
+            assert state == reference, f"bus count {buses} diverged"
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(operation_strategy, min_size=1, max_size=16))
+def test_optimizer_preserves_register_state(operations):
+    """Optimised and unoptimised code agree on the register file."""
+    ir = build_program(operations)
+    processor = make_processor(2)
+    plain = assemble(ir, processor, optimize_code=False)
+    simulate(processor, plain)
+    reference = {r: processor.fu("gpr").ports[r].value for r in REGISTERS}
+
+    optimised = assemble(ir, processor, optimize_code=True)
+    simulate(processor, optimised)
+    result = {r: processor.fu("gpr").ports[r].value for r in REGISTERS}
+    assert result == reference
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(operation_strategy, min_size=1, max_size=16))
+def test_wider_never_longer(operations):
+    """More buses never lengthen the schedule."""
+    ir = build_program(operations)
+    lengths = []
+    for buses in (1, 2, 3):
+        processor = make_processor(buses)
+        lengths.append(len(assemble(ir, processor, optimize_code=False)))
+    assert lengths[0] >= lengths[1] >= lengths[2]

@@ -1,0 +1,123 @@
+"""System-level robustness: backpressure, steady state, text round trips."""
+
+import pytest
+
+from repro.asm import format_ir, parse_assembly
+from repro.asm.assembler import assemble
+from repro.dse.config import ArchitectureConfiguration
+from repro.ipv6.address import Ipv6Address
+from repro.programs import run_forwarding
+from repro.programs.forwarding import ForwardingProgramFactory
+from repro.programs.machine import build_machine
+from repro.tta.simulator import Simulator
+from repro.workload import (
+    build_datagram,
+    forwarding_workload,
+    generate_routes,
+)
+
+
+class TestBackpressure:
+    def test_tiny_slot_pool_still_forwards_everything(self, routes20):
+        """The ippu stalls when slots run out and drains as oppu frees
+        them — no datagram may be lost inside the processor."""
+        config = ArchitectureConfiguration(bus_count=3, table_kind="cam")
+        machine = build_machine(config, slot_count=3)
+        machine.load_routes(routes20)
+        packets = forwarding_workload(routes20, 20, seed=9)
+        result = run_forwarding(config, routes20, packets, machine=machine)
+        assert result.correct, result.mismatches
+        assert result.packets_forwarded == len(packets)
+        # backpressure actually occurred
+        assert machine.ippu.stalls_no_slot > 0
+
+    def test_line_card_tail_drop_is_explicit(self, routes20):
+        from repro.errors import SimulationError
+        config = ArchitectureConfiguration(bus_count=1, table_kind="cam")
+        machine = build_machine(config)
+        machine.line_cards[0].queue_depth = 2
+        packets = forwarding_workload(routes20, 10, seed=9,
+                                      interface_count=1)
+        with pytest.raises(SimulationError):
+            run_forwarding(config, routes20, packets, machine=machine)
+
+
+class TestSteadyState:
+    def test_cycles_per_packet_stable_across_batch_sizes(self, routes100):
+        config = ArchitectureConfiguration(bus_count=3,
+                                           table_kind="balanced-tree")
+        per_packet = []
+        for batch in (4, 16, 40):
+            packets = forwarding_workload(routes100, batch, seed=21,
+                                          default_route_fraction=1.0)
+            result = run_forwarding(config, routes100, packets)
+            assert result.correct
+            per_packet.append(result.cycles_per_packet)
+        # fixed startup cost amortises: larger batches within 10 %
+        assert per_packet[2] == pytest.approx(per_packet[1], rel=0.10)
+
+    def test_deterministic_simulation(self, routes100, worst_packets):
+        config = ArchitectureConfiguration(bus_count=3, table_kind="cam")
+        first = run_forwarding(config, routes100, worst_packets)
+        second = run_forwarding(config, routes100, worst_packets)
+        assert first.report.cycles == second.report.cycles
+        assert first.report.moves_executed == second.report.moves_executed
+
+
+class TestTextRoundTrip:
+    @pytest.mark.parametrize("kind", ["sequential", "balanced-tree", "cam"])
+    def test_forwarding_ir_survives_text_form(self, kind, routes20):
+        """The generated forwarding program can be printed as TACO
+        assembly, re-parsed, re-assembled, and still routes correctly."""
+        config = ArchitectureConfiguration(bus_count=2, table_kind=kind)
+        machine = build_machine(config)
+        machine.load_routes(routes20)
+
+        factory = ForwardingProgramFactory(machine)
+        ir = factory.build_ir()
+        text = format_ir(ir)
+        reparsed = parse_assembly(text)
+        assert format_ir(reparsed) == text
+        program = assemble(reparsed, machine.processor,
+                           optimize_code=False)
+
+        raw = build_datagram(Ipv6Address.parse("2001:db8::9"))
+        machine.offered_load(0, raw)
+        machine.processor.reset()
+        Simulator(machine.processor, program).run()
+        forwarded = sum(len(c.transmitted) for c in machine.line_cards)
+        assert forwarded == 1
+
+
+class TestWorkloadEdges:
+    def test_single_entry_table(self):
+        routes = generate_routes(1)  # just the default route
+        for kind in ("sequential", "balanced-tree", "cam"):
+            config = ArchitectureConfiguration(bus_count=1, table_kind=kind)
+            packets = forwarding_workload(routes, 3, seed=4)
+            result = run_forwarding(config, routes, packets)
+            assert result.correct, (kind, result.mismatches)
+            assert result.packets_forwarded == 3
+
+    def test_large_table(self):
+        routes = generate_routes(220)
+        config = ArchitectureConfiguration(bus_count=3,
+                                           table_kind="balanced-tree")
+        packets = forwarding_workload(routes, 6, seed=4)
+        result = run_forwarding(config, routes, packets)
+        assert result.correct, result.mismatches
+
+
+class TestRestrictedSockets:
+    def test_reduced_connectivity_machine_still_routes(self, routes20):
+        """Cold units pinned to one bus: the scheduler adapts, the
+        forwarding result is unchanged (see benchmarks E3)."""
+        from repro.programs.machine import build_machine
+        config = ArchitectureConfiguration(bus_count=3, table_kind="cam")
+        machine = build_machine(config, connectivity={
+            "cks0": frozenset({0}), "msk0": frozenset({0}),
+            "shf0": frozenset({0}), "liu0": frozenset({0})})
+        packets = forwarding_workload(routes20, 6, seed=12)
+        result = run_forwarding(config, routes20, packets, machine=machine)
+        assert result.correct, result.mismatches
+        assert result.packets_forwarded == len(packets)

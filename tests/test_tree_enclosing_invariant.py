@@ -1,0 +1,103 @@
+"""White-box invariant: the AVL table's enclosing links are exact.
+
+The balanced tree's LPM correctness rests on each node's ``enclosing``
+pointer naming the most specific table prefix that strictly contains it
+(see the proof sketch in :mod:`repro.routing.balanced_tree`). This test
+recomputes that relation by brute force after random insert/remove
+sequences and requires exact agreement.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ipv6.address import Ipv6Address, Ipv6Prefix
+from repro.routing.balanced_tree import BalancedTreeRoutingTable
+from repro.routing.entry import RouteEntry
+
+prefix_strategy = st.tuples(
+    st.integers(min_value=0, max_value=(1 << 128) - 1),
+    st.sampled_from([0, 4, 8, 16, 24, 32, 48, 64, 96, 128]),
+).map(lambda t: Ipv6Prefix.of(Ipv6Address(t[0]), t[1]))
+
+
+def brute_force_enclosing(prefixes, target):
+    """Most specific prefix strictly containing *target*, or None."""
+    best = None
+    for candidate in prefixes:
+        if candidate == target:
+            continue
+        if candidate.length < target.length and \
+                candidate.contains(target.network):
+            if best is None or candidate.length > best.length:
+                best = candidate
+    return best
+
+
+def check_all_links(table: BalancedTreeRoutingTable):
+    prefixes = [entry.prefix for entry in table]
+    for prefix in prefixes:
+        node = table._nodes[prefix]  # noqa: SLF001 — white-box test
+        expected = brute_force_enclosing(prefixes, prefix)
+        assert node.enclosing == expected, (
+            f"{prefix}: enclosing={node.enclosing}, expected={expected}")
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(prefix_strategy, min_size=1, max_size=30, unique=True))
+def test_enclosing_links_after_inserts(prefixes):
+    table = BalancedTreeRoutingTable(capacity=64)
+    for i, prefix in enumerate(prefixes):
+        table.insert(RouteEntry(prefix=prefix, next_hop=Ipv6Address(i + 1),
+                                interface=0))
+    table.check_invariants()
+    check_all_links(table)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(prefix_strategy, min_size=4, max_size=24, unique=True),
+       st.data())
+def test_enclosing_links_after_removals(prefixes, data):
+    table = BalancedTreeRoutingTable(capacity=64)
+    for i, prefix in enumerate(prefixes):
+        table.insert(RouteEntry(prefix=prefix, next_hop=Ipv6Address(i + 1),
+                                interface=0))
+    victims = data.draw(st.lists(st.sampled_from(prefixes),
+                                 min_size=1, max_size=6, unique=True))
+    for victim in victims:
+        table.remove(victim)
+    table.check_invariants()
+    check_all_links(table)
+
+
+def test_deep_nesting_chain():
+    """A fully nested chain: every node's encloser is its direct parent."""
+    table = BalancedTreeRoutingTable(capacity=200)
+    base = Ipv6Address.parse("2001:db8::")
+    lengths = list(range(0, 129, 8))
+    for i, length in enumerate(lengths):
+        table.insert(RouteEntry(prefix=Ipv6Prefix.of(base, length),
+                                next_hop=Ipv6Address(i + 1), interface=0))
+    check_all_links(table)
+    # removing a middle link re-stitches the chain around it
+    table.remove(Ipv6Prefix.of(base, 64))
+    check_all_links(table)
+
+
+def test_random_churn_keeps_links_exact():
+    rng = random.Random(99)
+    table = BalancedTreeRoutingTable(capacity=256)
+    live = []
+    for _ in range(200):
+        if live and rng.random() < 0.45:
+            victim = live.pop(rng.randrange(len(live)))
+            table.remove(victim)
+        else:
+            prefix = Ipv6Prefix.of(Ipv6Address(rng.getrandbits(128)),
+                                   rng.choice([0, 8, 16, 32, 64, 128]))
+            if prefix not in table:
+                table.insert(RouteEntry(prefix=prefix,
+                                        next_hop=Ipv6Address(1),
+                                        interface=0))
+                live.append(prefix)
+    check_all_links(table)

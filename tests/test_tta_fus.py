@@ -1,0 +1,203 @@
+"""Functional-unit library: each FU against its reference semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.ipv6.checksum import ones_complement_sum
+from repro.tta import DataMemory
+from repro.tta.fus import (
+    ChecksumUnit,
+    Comparator,
+    Counter,
+    LocalInfoUnit,
+    Masker,
+    Matcher,
+    MemoryManagementUnit,
+    Shifter,
+)
+
+words = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+def fire(fu, trigger, value, operands=None, cycle=0):
+    """Set operands, write the trigger, commit, return (results, bit)."""
+    for name, operand_value in (operands or {}).items():
+        fu.ports[name].value = operand_value
+    fu.write(trigger, value, cycle)
+    fu.commit(cycle + fu.latency)
+    return {name: port.value for name, port in fu.ports.items()}, fu.result_bit
+
+
+class TestMatcher:
+    @given(words, words, words)
+    def test_masked_equality(self, value, ref, mask):
+        matcher = Matcher("m")
+        results, bit = fire(matcher, "t", value,
+                            {"o_ref": ref, "o_mask": mask})
+        expected = ((value ^ ref) & mask) == 0
+        assert bit is expected
+        assert results["r"] == int(expected)
+
+    def test_zero_mask_always_matches(self):
+        matcher = Matcher("m")
+        _, bit = fire(matcher, "t", 0xDEADBEEF,
+                      {"o_ref": 0x12345678, "o_mask": 0})
+        assert bit
+
+
+class TestComparator:
+    @pytest.mark.parametrize("trigger,expected", [
+        ("t_eq", lambda a, b: a == b), ("t_ne", lambda a, b: a != b),
+        ("t_lt", lambda a, b: a < b), ("t_le", lambda a, b: a <= b),
+        ("t_gt", lambda a, b: a > b), ("t_ge", lambda a, b: a >= b),
+    ])
+    def test_operations(self, trigger, expected):
+        for a, b in ((0, 0), (1, 2), (2, 1), (0xFFFFFFFF, 1)):
+            comparator = Comparator("c")
+            _, bit = fire(comparator, trigger, a, {"o": b})
+            assert bit is expected(a, b), (trigger, a, b)
+
+    def test_comparisons_are_unsigned(self):
+        comparator = Comparator("c")
+        _, bit = fire(comparator, "t_gt", 0x80000000, {"o": 1})
+        assert bit  # would be negative in signed arithmetic
+
+
+class TestCounter:
+    @given(words, words)
+    def test_add_wraps(self, a, b):
+        counter = Counter("c")
+        results, _ = fire(counter, "t_add", a, {"o": b})
+        assert results["r"] == (a + b) & 0xFFFFFFFF
+
+    @given(words, words)
+    def test_sub_wraps(self, a, b):
+        counter = Counter("c")
+        results, _ = fire(counter, "t_sub", a, {"o": b})
+        assert results["r"] == (a - b) & 0xFFFFFFFF
+
+    def test_inc_dec(self):
+        counter = Counter("c")
+        assert fire(counter, "t_inc", 41)[0]["r"] == 42
+        assert fire(counter, "t_dec", 42)[0]["r"] == 41
+
+    def test_stop_signal(self):
+        counter = Counter("c")
+        _, bit = fire(counter, "t_inc", 4, {"o_stop": 5})
+        assert bit
+        _, bit = fire(counter, "t_inc", 5, {"o_stop": 5})
+        assert not bit
+
+
+class TestChecksumUnit:
+    @given(st.lists(words, max_size=32))
+    def test_matches_reference_implementation(self, data_words):
+        unit = ChecksumUnit("k")
+        unit.write("t_clear", 0, 0)
+        unit.commit(1)
+        cycle = 1
+        for word in data_words:
+            unit.write("t_add", word, cycle)
+            unit.commit(cycle + 1)
+            cycle += 1
+        data = b"".join(w.to_bytes(4, "big") for w in data_words)
+        assert unit.ports["r_sum"].value == ones_complement_sum(data)
+        assert unit.ports["r_cksum"].value == \
+            (~ones_complement_sum(data)) & 0xFFFF
+
+    def test_result_bit_signals_valid_checksum(self):
+        unit = ChecksumUnit("k")
+        fire(unit, "t_add", 0xFFFF0000)
+        unit.write("t_add", 0x0000FFFF, 1)
+        unit.commit(2)
+        # 0xFFFF + 0xFFFF with end-around carry = 0xFFFF
+        assert unit.result_bit
+
+    def test_clear_resets(self):
+        unit = ChecksumUnit("k")
+        fire(unit, "t_add", 0x12345678)
+        unit.write("t_clear", 0, 1)
+        unit.commit(2)
+        assert unit.ports["r_sum"].value == 0
+
+
+class TestShifter:
+    @given(words, st.integers(min_value=0, max_value=31))
+    def test_logical_shifts(self, value, amount):
+        shifter = Shifter("s")
+        results, _ = fire(shifter, "t_sll", value, {"o": amount})
+        assert results["r"] == (value << amount) & 0xFFFFFFFF
+        results, _ = fire(shifter, "t_srl", value, {"o": amount})
+        assert results["r"] == value >> amount
+
+    def test_arithmetic_shift_extends_sign(self):
+        shifter = Shifter("s")
+        results, _ = fire(shifter, "t_sra", 0x80000000, {"o": 4})
+        assert results["r"] == 0xF8000000
+
+    def test_multiply_by_two(self):
+        # the paper's Fig. 3 idiom: Mul2 via shift left one
+        shifter = Shifter("s")
+        results, _ = fire(shifter, "t_sll", 21, {"o": 1})
+        assert results["r"] == 42
+
+
+class TestMasker:
+    @given(words, words, words)
+    def test_masked_insert(self, value, mask, insert):
+        masker = Masker("m")
+        results, _ = fire(masker, "t", value,
+                          {"o_mask": mask, "o_val": insert})
+        assert results["r"] == ((value & ~mask) | (insert & mask)) & 0xFFFFFFFF
+
+    def test_bitwise_helpers(self):
+        masker = Masker("m")
+        assert fire(masker, "t_and", 0xF0F0, {"o_val": 0xFF00})[0]["r"] == 0xF000
+        assert fire(masker, "t_or", 0xF0F0, {"o_val": 0x0F00})[0]["r"] == 0xFFF0
+        assert fire(masker, "t_xor", 0xF0F0, {"o_val": 0xFFFF})[0]["r"] == 0x0F0F
+
+    def test_hop_limit_rewrite_idiom(self):
+        # replace the low byte of header word 1 without touching the rest
+        masker = Masker("m")
+        word1 = 0x001A1140  # payload len | next header | hop limit 0x40
+        results, _ = fire(masker, "t", word1,
+                          {"o_mask": 0xFF, "o_val": 0x3F})
+        assert results["r"] == 0x001A113F
+
+
+class TestMmu:
+    def test_read_write(self):
+        memory = DataMemory(64)
+        mmu = MemoryManagementUnit("mmu", memory)
+        mmu.ports["o_addr"].value = 5
+        mmu.write("t_write", 1234, 0)
+        mmu.commit(1)
+        assert memory.load(5) == 1234
+        mmu.write("t_read", 5, 1)
+        mmu.commit(2)
+        assert mmu.ports["r"].value == 1234
+
+    def test_out_of_range_detected(self):
+        mmu = MemoryManagementUnit("mmu", DataMemory(16))
+        with pytest.raises(SimulationError):
+            mmu.write("t_read", 99, 0)
+
+
+class TestLiu:
+    def test_get_set(self):
+        liu = LocalInfoUnit("liu", words=[10, 20, 30])
+        liu.write("t_get", 1, 0)
+        liu.commit(1)
+        assert liu.ports["r"].value == 20
+        liu.ports["o_idx"].value = 2
+        liu.write("t_set", 99, 1)
+        liu.commit(2)
+        liu.write("t_get", 2, 2)
+        liu.commit(3)
+        assert liu.ports["r"].value == 99
+
+    def test_bad_index_detected(self):
+        liu = LocalInfoUnit("liu", words=[1])
+        with pytest.raises(SimulationError):
+            liu.write("t_get", 5, 0)
