@@ -1,0 +1,69 @@
+"""E — extension: resilience under injected faults (chaos scenarios).
+
+The convergence experiments of ``test_ripng_convergence.py`` rerun on
+an imperfect network: seeded frame loss, bit-flip corruption, and a
+scripted link flap. Reports the recovery cost (rounds, reconvergence
+time, worst route staleness) per scenario and asserts every scenario
+ends with all routing tables in agreement.
+"""
+
+from __future__ import annotations
+
+from repro.faults import ChaosScenario, FlapSchedule
+from repro.reporting import render_rows
+from repro.router import line_topology
+
+
+def _flap_scenario(drop: float, corrupt: float, seed: int) -> ChaosScenario:
+    network = line_topology(5)
+    flaps = FlapSchedule().flap(("r1", 1), down_at=60.0, up_at=320.0)
+    return ChaosScenario.uniform(network, seed=seed, drop=drop,
+                                 corrupt=corrupt, flaps=flaps,
+                                 chaos_seconds=400.0,
+                                 recovery_max_rounds=1500)
+
+
+def test_chaos_resilience(benchmark):
+    report = benchmark.pedantic(
+        lambda: _flap_scenario(drop=0.10, corrupt=0.0, seed=42).run(),
+        rounds=1, iterations=1)
+    assert report.converged
+    assert report.all_tables_agree
+
+    rows = []
+    for label, drop, corrupt, seed in (
+            ("flap only", 0.0, 0.0, 1),
+            ("10% drop + flap", 0.10, 0.0, 42),
+            ("10% drop, 10% corrupt + flap", 0.10, 0.10, 42)):
+        scenario_report = _flap_scenario(drop, corrupt, seed).run()
+        assert scenario_report.converged, label
+        assert scenario_report.all_tables_agree, label
+        rows.append([
+            label,
+            scenario_report.total_rounds,
+            scenario_report.frames.dropped,
+            scenario_report.frames.corrupted,
+            f"{scenario_report.time_to_reconverge:g}",
+            f"{scenario_report.worst_route_staleness:g}",
+        ])
+
+    print()
+    print(render_rows(["scenario", "rounds", "frames dropped",
+                       "frames corrupted", "reconverge s",
+                       "worst staleness s"], rows))
+
+
+def test_chaos_determinism(benchmark):
+    first = benchmark.pedantic(
+        lambda: _flap_scenario(drop=0.10, corrupt=0.10, seed=7).run(),
+        rounds=1, iterations=1)
+    second = _flap_scenario(drop=0.10, corrupt=0.10, seed=7).run()
+    assert first.total_rounds == second.total_rounds
+    assert first.messages_delivered == second.messages_delivered
+    assert first.frames.dropped == second.frames.dropped
+    assert first.frames.corrupted == second.frames.corrupted
+    assert first.worst_route_staleness == second.worst_route_staleness
+    print(f"\nseeded chaos replays bit-for-bit: "
+          f"{first.total_rounds} rounds, "
+          f"{first.frames.dropped} dropped, "
+          f"{first.frames.corrupted} corrupted")

@@ -5,7 +5,8 @@ Subcommands:
 * ``table1`` — regenerate the paper's Table 1 (all nine rows);
 * ``evaluate`` — evaluate one configuration;
 * ``explore`` — run the heuristic design-space explorer (future-work tool);
-* ``ripng`` — simulate RIPng convergence on a line/ring topology.
+* ``ripng`` — simulate RIPng convergence on a line/ring topology;
+* ``chaos`` — run a seeded fault-injection scenario and report resilience.
 """
 
 from __future__ import annotations
@@ -39,6 +40,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_explore(args)
     if args.command == "ripng":
         return _cmd_ripng(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "describe":
         return _cmd_describe(args)
     parser.print_help()
@@ -74,6 +77,31 @@ def _build_parser() -> argparse.ArgumentParser:
     rip = sub.add_parser("ripng", help="RIPng convergence simulation")
     rip.add_argument("--topology", choices=("line", "ring"), default="line")
     rip.add_argument("--routers", type=int, default=4)
+
+    chaos = sub.add_parser(
+        "chaos", help="seeded fault-injection / resilience scenario")
+    chaos.add_argument("--topology", choices=("line", "ring"),
+                       default="line")
+    chaos.add_argument("--routers", type=int, default=5)
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="scenario seed (runs replay bit-for-bit)")
+    chaos.add_argument("--drop", type=float, default=0.0,
+                       help="per-frame drop probability on every link")
+    chaos.add_argument("--corrupt", type=float, default=0.0,
+                       help="per-frame single-bit-flip probability")
+    chaos.add_argument("--duplicate", type=float, default=0.0,
+                       help="per-frame duplication probability")
+    chaos.add_argument("--reorder", type=float, default=0.0,
+                       help="per-frame reordering probability")
+    chaos.add_argument("--latency", type=int, default=0,
+                       help="fixed link latency in simulation steps")
+    chaos.add_argument("--jitter", type=int, default=0,
+                       help="uniform 0..N extra latency steps")
+    chaos.add_argument("--chaos-seconds", type=float, default=300.0,
+                       help="chaos phase duration (default 300)")
+    chaos.add_argument("--flap", action="append", default=[],
+                       metavar="ROUTER:IFACE:DOWN:UP",
+                       help="flap a link, e.g. r1:1:60:320 (repeatable)")
 
     desc = sub.add_parser(
         "describe", help="emit an instance's top-level description")
@@ -138,6 +166,47 @@ def _cmd_ripng(args: argparse.Namespace) -> int:
         print(f"  {name}: metric to {probe} = "
               f"{network.route_metric(name, probe)}")
     return 0 if report.converged else 1
+
+
+def _parse_flap(spec: str):
+    from repro.errors import FaultInjectionError
+    parts = spec.split(":")
+    if len(parts) != 4:
+        raise FaultInjectionError(
+            f"flap spec must be ROUTER:IFACE:DOWN:UP, got {spec!r}")
+    router, interface, down_at, up_at = parts
+    try:
+        return (router, int(interface)), float(down_at), float(up_at)
+    except ValueError as exc:
+        raise FaultInjectionError(f"bad flap spec {spec!r}: {exc}") from exc
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.faults import ChaosScenario, FlapSchedule
+
+    if args.topology == "line":
+        network = line_topology(args.routers)
+    else:
+        network = ring_topology(args.routers)
+    try:
+        flaps = FlapSchedule()
+        for spec in args.flap:
+            endpoint, down_at, up_at = _parse_flap(spec)
+            flaps.flap(endpoint, down_at=down_at, up_at=up_at)
+        scenario = ChaosScenario.uniform(
+            network, seed=args.seed, drop=args.drop, corrupt=args.corrupt,
+            duplicate=args.duplicate, reorder=args.reorder,
+            latency_steps=args.latency, jitter_steps=args.jitter,
+            flaps=flaps if len(flaps) else None,
+            chaos_seconds=args.chaos_seconds)
+        report = scenario.run()
+    except ReproError as exc:
+        print(f"chaos scenario failed: {exc}", file=sys.stderr)
+        return 2
+    print(f"{args.topology} of {args.routers}, seed {args.seed}:")
+    print(report.summary())
+    return 0 if report.converged and report.all_tables_agree else 1
 
 
 def _cmd_describe(args: argparse.Namespace) -> int:

@@ -48,5 +48,9 @@ class ConfigurationError(ReproError):
     """An architecture configuration is structurally invalid."""
 
 
+class FaultInjectionError(ReproError):
+    """A fault-injection model or chaos scenario is misconfigured."""
+
+
 class SimulationError(TtaError):
     """The cycle-accurate simulation detected an inconsistency."""

@@ -1,0 +1,25 @@
+"""Fault injection and resilience experiments for the router network.
+
+The perfect-world simulation in :mod:`repro.router.network` becomes a
+resilience testbed: seeded per-link :class:`FaultModel` (drop, bit-flip
+corruption, duplication, reordering, latency + jitter), scripted
+:class:`FlapSchedule` link outages, a :class:`SimulationWatchdog` that
+explains non-convergence, and a :class:`ChaosScenario` runner that
+composes them and reports a :class:`ResilienceReport`.
+"""
+
+from repro.faults.flaps import FlapEvent, FlapSchedule
+from repro.faults.model import FaultModel, FaultStatistics
+from repro.faults.scenario import (
+    ChaosScenario,
+    ResilienceReport,
+    advertised_prefixes,
+)
+from repro.faults.watchdog import SimulationWatchdog, WatchdogDiagnosis
+
+__all__ = [
+    "FlapEvent", "FlapSchedule",
+    "FaultModel", "FaultStatistics",
+    "ChaosScenario", "ResilienceReport", "advertised_prefixes",
+    "SimulationWatchdog", "WatchdogDiagnosis",
+]

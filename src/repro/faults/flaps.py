@@ -1,0 +1,107 @@
+"""Scripted link flaps: take links down and up at fixed simulation times.
+
+A :class:`FlapSchedule` is attached to a
+:class:`~repro.router.network.Network` (``set_flap_schedule``); at the
+start of each step the network applies every event whose time has come.
+Because events are keyed to simulated time, a schedule is exactly as
+deterministic as the simulation itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import FaultInjectionError
+
+Endpoint = Tuple[str, int]  # (router name, interface index)
+
+
+@dataclass(frozen=True)
+class FlapEvent:
+    """One scripted state change for the link holding *endpoint*."""
+
+    at: float
+    endpoint: Endpoint
+    up: bool
+
+
+class FlapSchedule:
+    """An ordered script of link down/up events.
+
+    Built fluently::
+
+        schedule = (FlapSchedule()
+                    .flap(("r1", 1), down_at=40.0, up_at=340.0)
+                    .link_down(500.0, ("r2", 0)))
+    """
+
+    def __init__(self) -> None:
+        self._events: List[FlapEvent] = []
+        self._cursor = 0
+        self._sorted = True
+
+    # -- construction -----------------------------------------------------------------
+
+    def add(self, event: FlapEvent) -> "FlapSchedule":
+        if event.at < 0:
+            raise FaultInjectionError(
+                f"flap event time must be non-negative, got {event.at}")
+        if self._cursor:
+            raise FaultInjectionError(
+                "cannot extend a schedule that is already being consumed")
+        self._events.append(event)
+        self._sorted = False
+        return self
+
+    def link_down(self, at: float, endpoint: Endpoint) -> "FlapSchedule":
+        return self.add(FlapEvent(at=at, endpoint=endpoint, up=False))
+
+    def link_up(self, at: float, endpoint: Endpoint) -> "FlapSchedule":
+        return self.add(FlapEvent(at=at, endpoint=endpoint, up=True))
+
+    def flap(self, endpoint: Endpoint, down_at: float,
+             up_at: float) -> "FlapSchedule":
+        """Take the link down at *down_at* and bring it back at *up_at*."""
+        if up_at <= down_at:
+            raise FaultInjectionError(
+                f"flap must come back up after it goes down "
+                f"({down_at} -> {up_at})")
+        return self.link_down(down_at, endpoint).link_up(up_at, endpoint)
+
+    # -- consumption ------------------------------------------------------------------
+
+    def due(self, now: float) -> List[FlapEvent]:
+        """Pop (in order) every event scheduled at or before *now*."""
+        if not self._sorted:
+            # stable sort keeps same-time events in insertion order
+            self._events.sort(key=lambda e: e.at)
+            self._sorted = True
+        start = self._cursor
+        while self._cursor < len(self._events) \
+                and self._events[self._cursor].at <= now:
+            self._cursor += 1
+        return self._events[start:self._cursor]
+
+    def endpoints(self) -> List[Endpoint]:
+        """Every endpoint the schedule touches (for early validation)."""
+        seen: List[Endpoint] = []
+        for event in self._events:
+            if event.endpoint not in seen:
+                seen.append(event.endpoint)
+        return seen
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self._events)
+
+    @property
+    def end_time(self) -> float:
+        """Time of the last scripted event (0.0 for an empty schedule)."""
+        return max((e.at for e in self._events), default=0.0)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def reset(self) -> None:
+        self._cursor = 0

@@ -1,0 +1,144 @@
+"""Deterministic per-link fault model.
+
+Real links lose, corrupt, duplicate, reorder, and delay frames; the seed
+network simulation delivered every frame perfectly in the same step. A
+:class:`FaultModel` sits on one :class:`~repro.router.network.Link` and
+maps each offered frame to zero or more ``(delay_steps, frame)``
+deliveries. All randomness comes from a private seeded generator, so a
+scenario replays bit-for-bit given the same seed — the property every
+resilience experiment in EXPERIMENTS.md depends on.
+
+A model with every probability at zero and zero latency is *null*: it
+consumes no randomness and returns the frame unchanged with no delay, so
+attaching it cannot perturb a simulation (pay-for-what-you-use).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import FaultInjectionError
+
+#: one scheduled delivery: (whole simulation steps to wait, frame bytes)
+Delivery = Tuple[int, bytes]
+
+#: reordering pushes a frame back by 1..MAX_REORDER_STEPS extra steps so
+#: frames offered later can overtake it
+MAX_REORDER_STEPS = 2
+
+
+@dataclass
+class FaultStatistics:
+    """What one fault model did to the frames offered to its link."""
+
+    injected: int = 0    # frames offered to the link
+    dropped: int = 0     # vanished entirely
+    corrupted: int = 0   # delivered with one bit flipped
+    duplicated: int = 0  # delivered twice
+    reordered: int = 0   # pushed back so a later frame can overtake
+    delayed: int = 0     # deliveries scheduled >= 1 step in the future
+
+    def merge(self, other: "FaultStatistics") -> None:
+        self.injected += other.injected
+        self.dropped += other.dropped
+        self.corrupted += other.corrupted
+        self.duplicated += other.duplicated
+        self.reordered += other.reordered
+        self.delayed += other.delayed
+
+
+class FaultModel:
+    """Seeded frame-level fault injection for one link direction-pair.
+
+    Probabilities are per offered frame; ``latency_steps`` is a fixed
+    in-flight delay and ``jitter_steps`` adds a uniform 0..N extra steps.
+    """
+
+    def __init__(self, seed: int = 0,
+                 drop_probability: float = 0.0,
+                 corrupt_probability: float = 0.0,
+                 duplicate_probability: float = 0.0,
+                 reorder_probability: float = 0.0,
+                 latency_steps: int = 0,
+                 jitter_steps: int = 0):
+        for name, value in (("drop_probability", drop_probability),
+                            ("corrupt_probability", corrupt_probability),
+                            ("duplicate_probability", duplicate_probability),
+                            ("reorder_probability", reorder_probability)):
+            if not 0.0 <= value <= 1.0:
+                raise FaultInjectionError(
+                    f"{name} must be in [0, 1], got {value}")
+        for name, value in (("latency_steps", latency_steps),
+                            ("jitter_steps", jitter_steps)):
+            if value < 0:
+                raise FaultInjectionError(
+                    f"{name} must be non-negative, got {value}")
+        self.seed = seed
+        self.drop_probability = drop_probability
+        self.corrupt_probability = corrupt_probability
+        self.duplicate_probability = duplicate_probability
+        self.reorder_probability = reorder_probability
+        self.latency_steps = latency_steps
+        self.jitter_steps = jitter_steps
+        self.stats = FaultStatistics()
+        self._rng = random.Random(seed)
+
+    @property
+    def is_null(self) -> bool:
+        """True when the model cannot affect traffic at all."""
+        return (self.drop_probability == 0.0
+                and self.corrupt_probability == 0.0
+                and self.duplicate_probability == 0.0
+                and self.reorder_probability == 0.0
+                and self.latency_steps == 0
+                and self.jitter_steps == 0)
+
+    def transmit(self, raw: bytes) -> List[Delivery]:
+        """Map one offered frame to its scheduled deliveries."""
+        self.stats.injected += 1
+        if self.is_null:
+            # fast path: no RNG consumed, frame passes through unchanged
+            return [(0, raw)]
+        rng = self._rng
+        if self.drop_probability and rng.random() < self.drop_probability:
+            self.stats.dropped += 1
+            return []
+        copies = [raw]
+        if self.duplicate_probability and \
+                rng.random() < self.duplicate_probability:
+            self.stats.duplicated += 1
+            copies.append(raw)
+        deliveries: List[Delivery] = []
+        for frame in copies:
+            if self.corrupt_probability and \
+                    rng.random() < self.corrupt_probability:
+                frame = self._flip_random_bit(frame)
+                self.stats.corrupted += 1
+            delay = self.latency_steps
+            if self.jitter_steps:
+                delay += rng.randint(0, self.jitter_steps)
+            if self.reorder_probability and \
+                    rng.random() < self.reorder_probability:
+                delay += rng.randint(1, MAX_REORDER_STEPS)
+                self.stats.reordered += 1
+            if delay > 0:
+                self.stats.delayed += 1
+            deliveries.append((delay, frame))
+        return deliveries
+
+    def _flip_random_bit(self, raw: bytes) -> bytes:
+        if not raw:
+            return raw
+        bit = self._rng.randrange(len(raw) * 8)
+        flipped = bytearray(raw)
+        flipped[bit // 8] ^= 1 << (bit % 8)
+        return bytes(flipped)
+
+    def __repr__(self) -> str:
+        return (f"<FaultModel seed={self.seed} drop={self.drop_probability} "
+                f"corrupt={self.corrupt_probability} "
+                f"dup={self.duplicate_probability} "
+                f"reorder={self.reorder_probability} "
+                f"latency={self.latency_steps}+{self.jitter_steps}j>")

@@ -36,6 +36,7 @@ class LineCard:
         self.transmitted: List[bytes] = []
         self.received_count = 0
         self.dropped_count = 0
+        self.peak_depth = 0
 
     # -- network side -------------------------------------------------------------
 
@@ -46,6 +47,8 @@ class LineCard:
             return False
         self._input.append(datagram)
         self.received_count += 1
+        if len(self._input) > self.peak_depth:
+            self.peak_depth = len(self._input)
         return True
 
     # -- processor side -----------------------------------------------------------

@@ -1,19 +1,30 @@
 """Multi-router network simulation for RIPng convergence studies.
 
 Routers are joined by point-to-point links between named interfaces. The
-simulation advances in fixed time steps: each step moves every datagram a
-router transmitted onto the peer's input queue, lets every router drain
-its inputs, and advances the RIPng timers. Convergence is reached when no
-router changes its table or emits a triggered update for a full interval.
+simulation advances in fixed time steps: each step applies any scripted
+link flaps, moves every datagram a router transmitted onto the peer's
+input queue (through the link's fault model, if one is attached), lets
+every router drain its inputs, and advances the RIPng timers.
+Convergence is reached when no router changes its table or emits a
+triggered update for a full interval.
+
+Fault injection is strictly opt-in: a link without a fault model uses
+the original zero-copy same-step delivery path, so an unfaulted network
+behaves bit-for-bit as it always did. The fault/flap objects themselves
+live in :mod:`repro.faults` and are only duck-typed here (a fault model
+needs ``transmit(raw) -> [(delay_steps, frame), ...]``; a flap schedule
+needs ``due(now) -> [events with .endpoint/.up]``) to keep the router
+core free of any dependency on the chaos layer.
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.ipv6.address import Ipv6Address, Ipv6Prefix
 from repro.router.router import Ipv6Router
 
@@ -25,6 +36,8 @@ class Link:
     a: Endpoint
     b: Endpoint
     up: bool = True
+    #: optional repro.faults.FaultModel (duck-typed; see module docstring)
+    fault_model: Optional[Any] = None
 
     def peer(self, endpoint: Endpoint) -> Endpoint:
         if endpoint == self.a:
@@ -40,6 +53,8 @@ class ConvergenceReport:
     rounds: int
     messages_delivered: int
     time_elapsed: float
+    #: set on non-convergence when a watchdog observed the run
+    diagnosis: Optional[Any] = None
 
 
 class Network:
@@ -52,6 +67,12 @@ class Network:
         self.step_seconds = step_seconds
         self.now = 0.0
         self.messages_delivered = 0
+        self.frames_lost_link_down = 0
+        self.link_flaps_applied = 0
+        self.flap_schedule: Optional[Any] = None
+        # frames delayed by a fault model: (deliver_at, seq, endpoint, raw)
+        self._in_flight: List[Tuple[float, int, Endpoint, bytes]] = []
+        self._flight_seq = 0
 
     # -- construction -----------------------------------------------------------------
 
@@ -83,10 +104,37 @@ class Network:
             raise ReproError(f"{a} is not linked")
         link.up = up
 
+    def attach_fault_model(self, a: Endpoint, model: Optional[Any]) -> Link:
+        """Attach (or clear, with None) a fault model on *a*'s link."""
+        link = self._by_endpoint.get(a)
+        if link is None:
+            raise ReproError(f"{a} is not linked")
+        link.fault_model = model
+        return link
+
+    def set_flap_schedule(self, schedule: Optional[Any]) -> None:
+        """Install a scripted link flap schedule (applied in :meth:`step`).
+
+        Endpoints are validated now so a typo fails before the run, not
+        hundreds of simulated seconds into it.
+        """
+        if schedule is not None:
+            for endpoint in schedule.endpoints():
+                if endpoint not in self._by_endpoint:
+                    raise ReproError(
+                        f"flap schedule touches {endpoint}, which is not a "
+                        f"linked interface of this network")
+        self.flap_schedule = schedule
+
     # -- simulation -------------------------------------------------------------------
 
     def step(self) -> int:
-        """One round: deliver transmissions, process inputs, tick timers."""
+        """One round: apply flaps, deliver transmissions, process inputs,
+        tick timers."""
+        if self.flap_schedule is not None:
+            for event in self.flap_schedule.due(self.now):
+                self.set_link_state(event.endpoint, event.up)
+                self.link_flaps_applied += 1
         delivered = self._deliver_transmissions()
         for router in self.routers.values():
             router.poll_inputs(now=self.now)
@@ -97,7 +145,7 @@ class Network:
         return delivered
 
     def _deliver_transmissions(self) -> int:
-        delivered = 0
+        delivered = self._release_in_flight()
         for name, router in self.routers.items():
             for card in router.line_cards:
                 if not card.transmitted:
@@ -105,30 +153,97 @@ class Network:
                 outgoing = list(card.transmitted)
                 card.transmitted.clear()
                 link = self._by_endpoint.get((name, card.index))
-                if link is None or not link.up:
-                    continue  # unconnected or down: frames vanish
-                peer_name, peer_interface = link.peer((name, card.index))
-                peer = self.routers[peer_name]
+                if link is None:
+                    continue  # unconnected: frames vanish silently
+                if not link.up:
+                    self.frames_lost_link_down += len(outgoing)
+                    continue
+                peer_endpoint = link.peer((name, card.index))
+                model = link.fault_model
                 for raw in outgoing:
-                    peer.line_cards[peer_interface].deliver(raw)
-                    delivered += 1
+                    if model is None:
+                        self._deliver_raw(peer_endpoint, raw)
+                        delivered += 1
+                        continue
+                    for delay_steps, frame in model.transmit(raw):
+                        if delay_steps <= 0:
+                            self._deliver_raw(peer_endpoint, frame)
+                            delivered += 1
+                        else:
+                            deliver_at = self.now + \
+                                delay_steps * self.step_seconds
+                            heapq.heappush(
+                                self._in_flight,
+                                (deliver_at, self._flight_seq,
+                                 peer_endpoint, frame))
+                            self._flight_seq += 1
         return delivered
 
+    def _release_in_flight(self) -> int:
+        """Deliver delayed frames whose time has come; drop those whose
+        link went down while they were in flight."""
+        released = 0
+        while self._in_flight and self._in_flight[0][0] <= self.now:
+            _, _, endpoint, frame = heapq.heappop(self._in_flight)
+            link = self._by_endpoint.get(endpoint)
+            if link is None or not link.up:
+                self.frames_lost_link_down += 1
+                continue
+            self._deliver_raw(endpoint, frame)
+            released += 1
+        return released
+
+    def _deliver_raw(self, endpoint: Endpoint, frame: bytes) -> None:
+        name, interface = endpoint
+        self.routers[name].line_cards[interface].deliver(frame)
+
+    @property
+    def frames_in_flight(self) -> int:
+        return len(self._in_flight)
+
     def run_until_converged(self, max_rounds: int = 600,
-                            quiet_rounds: int = 20) -> ConvergenceReport:
+                            quiet_rounds: int = 20,
+                            watchdog: Optional[Any] = None
+                            ) -> ConvergenceReport:
         """Advance until the control plane is quiet for *quiet_rounds*.
 
         Quiet means no RIPng datagram crossed any link; periodic updates
         restart the clock, so *quiet_rounds* must stay below the update
-        interval (30 s at 1 s steps).
+        interval (30 s at 1 s steps) — a quiet window that long can never
+        occur and is rejected up front as a :class:`ConfigurationError`.
+
+        A *watchdog* (:class:`repro.faults.SimulationWatchdog`) observes
+        every round; on non-convergence its diagnosis is attached to the
+        report so callers learn *why* the control plane kept churning.
         """
+        intervals = [router.ripng.update_interval
+                     for router in self.routers.values() if router.ripng]
+        if intervals and \
+                quiet_rounds * self.step_seconds >= min(intervals):
+            raise ConfigurationError(
+                f"quiet_rounds ({quiet_rounds}) x step_seconds "
+                f"({self.step_seconds}) = "
+                f"{quiet_rounds * self.step_seconds} s, which is not below "
+                f"the shortest RIPng update interval ({min(intervals)} s): "
+                f"periodic updates would reset the quiet counter before it "
+                f"ever reached quiet_rounds, so convergence could never be "
+                f"detected; lower quiet_rounds/step_seconds or raise the "
+                f"update interval")
         quiet = 0
         for round_index in itertools.count():
             if round_index >= max_rounds:
+                diagnosis = watchdog.diagnose() if watchdog is not None \
+                    else None
                 return ConvergenceReport(False, round_index,
-                                         self.messages_delivered, self.now)
+                                         self.messages_delivered, self.now,
+                                         diagnosis=diagnosis)
             delivered = self.step()
-            quiet = quiet + 1 if delivered == 0 else 0
+            if watchdog is not None:
+                watchdog.observe()
+            # a round with frames still in flight is not quiet: they will
+            # land on a router and may restart the conversation
+            quiet = quiet + 1 if delivered == 0 and not self._in_flight \
+                else 0
             if quiet >= quiet_rounds:
                 return ConvergenceReport(True, round_index + 1,
                                          self.messages_delivered, self.now)
@@ -179,17 +294,13 @@ def ring_topology(count: int, table_kind: str = "balanced-tree",
         raise ReproError("ring topology needs at least three routers")
     network = line_topology(count, table_kind=table_kind,
                             step_seconds=step_seconds)
-    # close the ring with the spare interfaces of the two line ends: use
-    # dedicated third interfaces to avoid clashing with line links
+    # close the ring with dedicated third interfaces on the two line ends
+    # to avoid clashing with line links
     first = network.routers["r0"]
     last = network.routers[f"r{count - 1}"]
-    for router in (first, last):
-        router.line_cards.append(
-            type(router.line_cards[0])(len(router.line_cards)))
-        router.interface_addresses.append(
-            Ipv6Address.parse(f"2001:db8:ff{router.name[1:]}::1"))
-        if router.ripng:
-            router.ripng.interface_count += 1
-    network.connect(("r0", len(first.line_cards) - 1),
-                    (f"r{count - 1}", len(last.line_cards) - 1))
+    first_closing = first.add_interface(
+        Ipv6Address.parse(f"2001:db8:ff{first.name[1:]}::1"))
+    last_closing = last.add_interface(
+        Ipv6Address.parse(f"2001:db8:ff{last.name[1:]}::1"))
+    network.connect(("r0", first_closing), (f"r{count - 1}", last_closing))
     return network

@@ -82,6 +82,23 @@ class RipngEngine:
         self._booted = False
         self.updates_sent = 0
         self.responses_processed = 0
+        self.malformed_dropped = 0
+
+    # -- interfaces ----------------------------------------------------------------------
+
+    def add_interface(self, address: Ipv6Address, interface: int,
+                      prefix_length: int = 64) -> None:
+        """Grow the engine by one interface and announce its prefix.
+
+        *interface* must be the next free index — the engine addresses
+        interfaces densely (``range(interface_count)``) when emitting.
+        """
+        if interface != self.interface_count:
+            raise RipngError(
+                f"interfaces must be added densely: expected index "
+                f"{self.interface_count}, got {interface}")
+        self.interface_count += 1
+        self.add_connected(address, interface, prefix_length)
 
     # -- route origination ---------------------------------------------------------------
 
@@ -109,14 +126,23 @@ class RipngEngine:
 
     def receive(self, payload: bytes, sender: Ipv6Address, interface: int,
                 now: float) -> List[OutboundMessage]:
-        """Process one RIPng payload; returns any direct replies."""
-        message = RipngMessage.from_bytes(payload)
-        if message.command == COMMAND_REQUEST:
-            return self._handle_request(message, interface)
-        if message.command == COMMAND_RESPONSE:
+        """Process one RIPng payload; returns any direct replies.
+
+        A malformed payload (truncated header, ragged RTE body, invalid
+        metric...) is counted in :attr:`malformed_dropped` and otherwise
+        ignored — a routing daemon must survive garbage on port 521, not
+        take the simulation down with it.
+        """
+        try:
+            message = RipngMessage.from_bytes(payload)
+            if message.command == COMMAND_REQUEST:
+                return self._handle_request(message, interface)
+            # from_bytes only admits REQUEST or RESPONSE commands
             self._handle_response(message, sender, interface, now)
             return []
-        raise RipngError(f"unexpected command {message.command}")
+        except RipngError:
+            self.malformed_dropped += 1
+            return []
 
     def _handle_request(self, message: RipngMessage,
                         interface: int) -> List[OutboundMessage]:

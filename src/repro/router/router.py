@@ -77,6 +77,20 @@ class Ipv6Router:
             for i, address in enumerate(self.interface_addresses):
                 self.ripng.add_connected(address, i)
 
+    def add_interface(self, address: Ipv6Address) -> int:
+        """Bring up one more interface at runtime; returns its index.
+
+        The new interface gets a line card and, when RIPng is enabled,
+        is announced as a directly attached route — exactly what
+        :meth:`__init__` does for the initial interfaces.
+        """
+        index = len(self.line_cards)
+        self.interface_addresses.append(address)
+        self.line_cards.append(LineCard(index))
+        if self.ripng is not None:
+            self.ripng.add_interface(address, index)
+        return index
+
     # -- data plane -----------------------------------------------------------------
 
     def receive(self, interface: int, raw: bytes,
@@ -114,13 +128,22 @@ class Ipv6Router:
         self.stats.forwarded += 1
 
     def poll_inputs(self, now: float = 0.0) -> int:
-        """Drain every line card's pending input through :meth:`receive`."""
+        """Drain every line card's pending input through :meth:`receive`.
+
+        No library error may escape the simulation loop: real silicon
+        counts a malformed datagram and moves on, so any
+        :class:`ReproError` a corrupted frame provokes past the targeted
+        validity checks is converted into a drop statistic here.
+        """
         processed = 0
         for card in self.line_cards:
             while card.has_pending_input():
                 raw = card.pop_input()
                 assert raw is not None
-                self.receive(card.index, raw, now=now)
+                try:
+                    self.receive(card.index, raw, now=now)
+                except ReproError:
+                    self.stats.drop("ingress-error")
                 processed += 1
         return processed
 
@@ -148,10 +171,14 @@ class Ipv6Router:
                 self.stats.drop("bad-udp")
                 return
             if udp.destination_port == RIPNG_PORT:
-                self.stats.ripng_messages += 1
+                malformed_before = self.ripng.malformed_dropped
                 replies = self.ripng.receive(
                     udp.payload, sender=datagram.header.source,
                     interface=interface, now=now)
+                if self.ripng.malformed_dropped != malformed_before:
+                    self.stats.drop("bad-ripng")
+                    return
+                self.stats.ripng_messages += 1
                 for out_interface, message in replies:
                     self._send_ripng(out_interface, message,
                                      unicast_to=datagram.header.source)

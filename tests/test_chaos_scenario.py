@@ -1,0 +1,164 @@
+"""Chaos scenarios: composition, determinism, pay-for-what-you-use."""
+
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.faults import ChaosScenario, FaultModel, FlapSchedule
+from repro.faults.scenario import advertised_prefixes
+from repro.ipv6.address import Ipv6Prefix
+from repro.router import line_topology, ring_topology
+
+
+def seeded_scenario():
+    """The acceptance scenario: >=10% drop + one flap on a 5-router line."""
+    network = line_topology(5)
+    flaps = FlapSchedule().flap(("r1", 1), down_at=60.0, up_at=320.0)
+    return ChaosScenario.uniform(network, seed=42, drop=0.10, flaps=flaps,
+                                 chaos_seconds=400.0)
+
+
+class TestZeroFaultReproduction:
+    def test_chaos_scenario_is_pay_for_what_you_use(self):
+        """All probabilities zero, no flaps: the scenario must reproduce
+        a plain run_until_converged byte for byte."""
+        plain = line_topology(5)
+        plain_report = plain.run_until_converged()
+
+        report = ChaosScenario.uniform(line_topology(5), seed=9).run()
+        assert report.converged
+        assert report.chaos_rounds == 0
+        assert report.recovery is None
+        assert report.baseline.rounds == plain_report.rounds
+        assert report.total_rounds == plain_report.rounds
+        assert report.messages_delivered == plain_report.messages_delivered
+        assert report.frames.dropped == 0
+        assert report.frames.corrupted == 0
+        assert report.worst_route_staleness == 0.0
+        assert report.all_tables_agree
+
+
+class TestSeededChaos:
+    def test_deterministic_across_runs(self):
+        a = seeded_scenario().run()
+        b = seeded_scenario().run()
+        assert a.total_rounds == b.total_rounds
+        assert a.messages_delivered == b.messages_delivered
+        assert a.frames.dropped == b.frames.dropped
+        assert a.frames_lost_link_down == b.frames_lost_link_down
+        assert a.worst_route_staleness == b.worst_route_staleness
+        assert a.time_to_reconverge == b.time_to_reconverge
+
+    def test_converges_and_tables_agree_everywhere(self):
+        report = seeded_scenario().run()
+        assert report.converged
+        assert report.all_tables_agree
+        assert report.prefixes_checked == 10  # 2 interfaces x 5 routers
+        assert report.frames.dropped > 0
+        assert report.link_flaps_applied == 2
+        # the flap cut a route long enough for the timeout to fire
+        assert report.worst_route_staleness > 0.0
+        assert "converged: True" in report.summary()
+
+    def test_different_seed_changes_the_run(self):
+        network = line_topology(5)
+        a = ChaosScenario.uniform(network, seed=1, drop=0.2,
+                                  chaos_seconds=120.0).run()
+        network = line_topology(5)
+        b = ChaosScenario.uniform(network, seed=2, drop=0.2,
+                                  chaos_seconds=120.0).run()
+        assert a.frames.dropped != b.frames.dropped or \
+            a.messages_delivered != b.messages_delivered
+
+
+class TestNoExceptionEscapes:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_step_survives_every_fault_kind(self, seed):
+        """Corruption, duplication, reordering, loss, and latency all at
+        once: Network.step must never raise, and drops must be counted
+        as router statistics instead."""
+        network = ring_topology(4)
+        flaps = FlapSchedule().flap(("r0", 2), down_at=30.0, up_at=250.0)
+        scenario = ChaosScenario.uniform(
+            network, seed=seed, drop=0.2, corrupt=0.3, duplicate=0.2,
+            reorder=0.2, latency_steps=1, jitter_steps=2, flaps=flaps,
+            chaos_seconds=400.0, recovery_max_rounds=1500)
+        report = scenario.run()  # any escaped exception fails the test
+        assert report.frames.corrupted > 0
+        # corrupted RIPng frames surface as checksum/validation drops
+        assert report.router_drops
+        total_router_drops = sum(report.router_drops.values())
+        assert total_router_drops > 0
+
+    def test_pure_corruption_storm_is_survivable(self):
+        network = line_topology(3)
+        scenario = ChaosScenario.uniform(network, seed=11, corrupt=0.5,
+                                         chaos_seconds=200.0)
+        report = scenario.run()
+        assert report.frames.corrupted > 0
+        assert "bad-udp" in report.router_drops
+
+
+class TestScenarioLifecycle:
+    def test_one_shot(self):
+        scenario = ChaosScenario.uniform(line_topology(3), seed=1)
+        scenario.run()
+        with pytest.raises(FaultInjectionError):
+            scenario.run()
+
+    def test_negative_chaos_seconds_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            ChaosScenario(line_topology(3), chaos_seconds=-1.0)
+
+    def test_flap_only_scenario_runs_past_schedule_end(self):
+        network = line_topology(3)
+        flaps = FlapSchedule().flap(("r0", 1), down_at=40.0, up_at=90.0)
+        report = ChaosScenario(network, flaps=flaps).run()
+        assert report.link_flaps_applied == 2
+        assert report.chaos_rounds > 0
+        assert report.converged
+
+    def test_advertised_prefixes_cover_all_interfaces(self):
+        network = line_topology(4)
+        prefixes = advertised_prefixes(network)
+        assert len(prefixes) == 8
+        assert Ipv6Prefix.parse("2001:db8:3:2::/64") in prefixes
+
+    def test_custom_fault_factory_can_target_one_link(self):
+        network = line_topology(3)
+
+        def factory(index):
+            return FaultModel(seed=5, drop_probability=1.0) \
+                if index == 0 else None
+
+        report = ChaosScenario(network, fault_factory=factory,
+                               max_rounds=120).run()
+        # r0 is fully cut off: its far prefix never propagates
+        assert not report.all_tables_agree
+        assert report.frames.dropped == report.frames.injected > 0
+
+
+class TestWatchdogIntegration:
+    def test_non_convergence_comes_with_a_diagnosis(self):
+        network = line_topology(4)
+        # a latency longer than the quiet window means a quiet stretch
+        # can never occur: the run must time out, with a diagnosis
+        scenario = ChaosScenario.uniform(network, seed=3,
+                                         latency_steps=25,
+                                         max_rounds=120)
+        report = scenario.run()
+        assert not report.converged
+        assert report.diagnosis is not None
+        assert report.diagnosis.churning_routers
+
+    def test_total_blackout_is_quiet_but_tables_disagree(self):
+        """drop=1.0 silences every link: delivery-based detection sees
+        'quiet', and the report exposes the truth via table agreement."""
+        network = line_topology(4)
+        scenario = ChaosScenario.uniform(network, seed=3, drop=1.0,
+                                         max_rounds=80,
+                                         recovery_max_rounds=80,
+                                         chaos_seconds=30.0)
+        report = scenario.run()
+        assert report.messages_delivered == 0
+        assert not report.all_tables_agree
+        assert report.frames.dropped == report.frames.injected > 0

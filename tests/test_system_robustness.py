@@ -1,4 +1,7 @@
-"""System-level robustness: backpressure, steady state, text round trips."""
+"""System-level robustness: backpressure, steady state, text round trips,
+and ingress fuzzing (malformed frames must be counted, never raised)."""
+
+import random
 
 import pytest
 
@@ -106,6 +109,133 @@ class TestWorkloadEdges:
         packets = forwarding_workload(routes, 6, seed=4)
         result = run_forwarding(config, routes, packets)
         assert result.correct, result.mismatches
+
+
+def _make_router():
+    from repro.router.router import Ipv6Router
+    return Ipv6Router("fuzz", [Ipv6Address.parse("2001:db8:aa::1"),
+                               Ipv6Address.parse("2001:db8:bb::1")])
+
+
+def _ripng_datagram(payload: bytes) -> bytes:
+    """A well-formed IPv6+UDP datagram carrying *payload* to port 521."""
+    from repro.ipv6.header import PROTO_UDP
+    from repro.ipv6.packet import Ipv6Datagram
+    from repro.ipv6.ripng import RIPNG_MULTICAST_GROUP, RIPNG_PORT
+    from repro.ipv6.udp import UdpDatagram
+    source = Ipv6Address.parse("fe80::2")
+    destination = RIPNG_MULTICAST_GROUP
+    udp = UdpDatagram(RIPNG_PORT, RIPNG_PORT, payload=payload)
+    return Ipv6Datagram.build(
+        source=source, destination=destination, next_header=PROTO_UDP,
+        payload=udp.to_bytes(source, destination),
+        hop_limit=255).to_bytes()
+
+
+def _assert_stats_consistent(router):
+    """Every received datagram is forwarded, delivered, consumed by
+    RIPng, or counted as a drop — nothing may fall through the floor."""
+    stats = router.stats
+    accounted = (stats.forwarded + stats.delivered_local
+                 + stats.ripng_messages + stats.total_dropped)
+    assert stats.received == accounted, stats
+
+
+def _ingest(router, raw: bytes) -> None:
+    assert router.line_cards[0].deliver(raw)
+    router.poll_inputs(now=0.0)
+
+
+class TestIngressFuzz:
+    """Truncated / garbage / bit-flipped frames through LineCard.deliver
+    -> poll_inputs: counted as drops, never raised."""
+
+    def test_random_garbage_never_raises(self):
+        rng = random.Random(0xF00D)
+        router = _make_router()
+        for _ in range(300):
+            raw = bytes(rng.randrange(256)
+                        for _ in range(rng.randrange(0, 120)))
+            _ingest(router, raw)
+        _assert_stats_consistent(router)
+        assert router.stats.total_dropped > 0
+
+    def test_truncated_ipv6_headers_are_drops(self):
+        from repro.ipv6.ripng import request_full_table
+        whole = _ripng_datagram(request_full_table().to_bytes())
+        router = _make_router()
+        for cut in (0, 1, 8, 24, 39, 41, len(whole) - 1):
+            _ingest(router, whole[:cut])
+        _assert_stats_consistent(router)
+        assert router.stats.total_dropped == 7
+        assert router.stats.ripng_messages == 0
+
+    def test_truncated_ripng_payload_counted_not_raised(self):
+        from repro.ipv6.ripng import request_full_table
+        payload = request_full_table().to_bytes()
+        router = _make_router()
+        _ingest(router, _ripng_datagram(payload[:3]))   # ragged header
+        _ingest(router, _ripng_datagram(payload[:11]))  # ragged RTE body
+        _assert_stats_consistent(router)
+        assert router.stats.dropped.get("bad-ripng") == 2
+        assert router.ripng.malformed_dropped == 2
+
+    def test_semantically_invalid_ripng_counted_not_raised(self):
+        router = _make_router()
+        # unknown command 9
+        _ingest(router, _ripng_datagram(bytes([9, 1, 0, 0])))
+        # metric 0 is outside RFC 2080's 1..16
+        bad_metric_rte = bytes(16) + b"\x00\x00" + bytes([64, 0])
+        _ingest(router, _ripng_datagram(bytes([2, 1, 0, 0])
+                                        + bad_metric_rte))
+        _assert_stats_consistent(router)
+        assert router.stats.dropped.get("bad-ripng") == 2
+        assert router.ripng.malformed_dropped == 2
+
+    def test_bit_flipped_ripng_datagrams_all_accounted(self):
+        from repro.ipv6.ripng import request_full_table
+        whole = _ripng_datagram(request_full_table().to_bytes())
+        router = _make_router()
+        flipped = 0
+        for bit in range(0, len(whole) * 8, 3):
+            mutated = bytearray(whole)
+            mutated[bit // 8] ^= 1 << (bit % 8)
+            _ingest(router, bytes(mutated))
+            flipped += 1
+        _assert_stats_consistent(router)
+        assert router.stats.received == flipped
+        # flips in the UDP payload/ports must fail the checksum
+        assert router.stats.dropped.get("bad-udp", 0) > 0
+
+    def test_poll_inputs_converts_library_errors_to_drops(self,
+                                                          monkeypatch):
+        from repro.errors import Ipv6Error
+        router = _make_router()
+
+        def explode(interface, raw, now=0.0):
+            raise Ipv6Error("synthetic ingress failure")
+
+        monkeypatch.setattr(router, "receive", explode)
+        router.line_cards[0].deliver(bytes(40))
+        processed = router.poll_inputs(now=0.0)
+        assert processed == 1
+        assert router.stats.dropped.get("ingress-error") == 1
+
+    def test_fuzz_does_not_wedge_the_router(self):
+        """After a garbage storm the router still learns routes from a
+        well-formed RIPng response."""
+        from repro.ipv6.address import Ipv6Prefix
+        from repro.ipv6.ripng import RouteTableEntry, response
+        rng = random.Random(77)
+        router = _make_router()
+        for _ in range(100):
+            raw = bytes(rng.randrange(256) for _ in range(rng.randrange(80)))
+            _ingest(router, raw)
+        prefix = Ipv6Prefix.parse("2001:db8:1234::/64")
+        update = response([RouteTableEntry(prefix=prefix, metric=2)])
+        _ingest(router, _ripng_datagram(update.to_bytes()))
+        assert router.ripng.route_metric(prefix) == 3
+        _assert_stats_consistent(router)
 
 
 class TestRestrictedSockets:
