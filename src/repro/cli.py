@@ -7,6 +7,10 @@ Subcommands:
 * ``explore`` — run the heuristic design-space explorer (future-work tool);
 * ``ripng`` — simulate RIPng convergence on a line/ring topology;
 * ``chaos`` — run a seeded fault-injection scenario and report resilience.
+
+``table1`` and ``explore`` run as crash-safe campaigns when given
+``--journal`` (resume with ``--resume``); ``--hazards`` attaches the TTA
+hazard detector to every simulation.
 """
 
 from __future__ import annotations
@@ -17,14 +21,19 @@ from typing import Optional, Sequence
 
 from repro.dse import (
     ArchitectureConfiguration,
+    CampaignPolicy,
+    CampaignRunner,
     DesignConstraints,
     DesignSpace,
     Evaluator,
     GreedyExplorer,
     generate_table1,
     render_table1,
+    run_table1_campaign,
     shape_checks,
+    write_atomic,
 )
+from repro.dse.evaluator import DEFAULT_EVALUATION_MAX_CYCLES
 from repro.ipv6.address import Ipv6Prefix
 from repro.router.network import line_topology, ring_topology
 
@@ -32,12 +41,16 @@ from repro.router.network import line_topology, ring_topology
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
-    if args.command == "table1":
-        return _cmd_table1(args)
+    if args.command in ("table1", "explore"):
+        from repro.errors import CampaignError
+        try:
+            return _cmd_table1(args) if args.command == "table1" \
+                else _cmd_explore(args)
+        except CampaignError as exc:
+            print(f"campaign error: {exc}", file=sys.stderr)
+            return 2
     if args.command == "evaluate":
         return _cmd_evaluate(args)
-    if args.command == "explore":
-        return _cmd_explore(args)
     if args.command == "ripng":
         return _cmd_ripng(args)
     if args.command == "chaos":
@@ -59,6 +72,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="routing table size (default 100)")
     table1.add_argument("--packets", type=int, default=12,
                         help="measurement batch size (default 12)")
+    _add_campaign_arguments(table1)
+    table1.add_argument("--output", default=None, metavar="PATH",
+                        help="also write the table atomically to PATH")
 
     ev = sub.add_parser("evaluate", help="evaluate one configuration")
     ev.add_argument("--buses", type=int, default=1)
@@ -67,12 +83,15 @@ def _build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--table", default="sequential",
                     choices=("sequential", "balanced-tree", "cam"))
     ev.add_argument("--entries", type=int, default=100)
+    ev.add_argument("--hazards", action="store_true",
+                    help="attach the hazard detector and print its report")
 
     ex = sub.add_parser("explore", help="heuristic design-space exploration")
     ex.add_argument("--max-power", type=float, default=None,
                     help="power budget in watts")
     ex.add_argument("--max-area", type=float, default=None,
                     help="area budget in mm^2")
+    _add_campaign_arguments(ex)
 
     rip = sub.add_parser("ripng", help="RIPng convergence simulation")
     rip.add_argument("--topology", choices=("line", "ring"), default="line")
@@ -114,12 +133,57 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="crash-safe JSONL journal of every evaluation")
+    parser.add_argument("--resume", action="store_true",
+                        help="replay the journal and skip completed configs")
+    parser.add_argument("--cycle-budget", type=int,
+                        default=DEFAULT_EVALUATION_MAX_CYCLES,
+                        help="per-evaluation cycle deadline (one retry at "
+                             "4x before quarantine)")
+    parser.add_argument("--hazards", action="store_true",
+                        help="attach the TTA hazard detector to every "
+                             "simulation and report aggregated counts")
+
+
+def _make_campaign_runner(evaluator: Evaluator,
+                          args: argparse.Namespace) -> CampaignRunner:
+    return CampaignRunner(
+        evaluator, journal_path=args.journal, resume=args.resume,
+        policy=CampaignPolicy(cycle_budget=args.cycle_budget))
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     evaluator = Evaluator(table_entries=args.entries,
-                          packet_batch=args.packets)
-    rows = generate_table1(evaluator)
-    print(render_table1(rows))
-    violations = shape_checks(rows)
+                          packet_batch=args.packets,
+                          detect_hazards=args.hazards)
+    if args.journal:
+        runner = _make_campaign_runner(evaluator, args)
+        rows, campaign = run_table1_campaign(runner)
+        text = render_table1(rows)
+        for failure in campaign.failures:
+            text += f"\nquarantined: {failure.render()}"
+        print(text)
+        if args.output:
+            write_atomic(args.output, text + "\n")
+        if args.hazards:
+            from repro.reporting import render_hazard_summary
+            print(render_hazard_summary(runner.hazard_counts()))
+        if campaign.resumed:
+            print(f"(resumed {campaign.resumed} evaluation(s) "
+                  f"from {args.journal})", file=sys.stderr)
+        if campaign.failures:
+            return 3
+        rows_for_checks = rows
+    else:
+        rows_for_checks = generate_table1(evaluator)
+        text = render_table1(rows_for_checks)
+        print(text)
+        if args.output:
+            write_atomic(args.output, text + "\n")
+    violations = shape_checks(rows_for_checks) \
+        if len(rows_for_checks) == 9 else []
     if violations:
         print("\nshape violations:")
         for violation in violations:
@@ -134,17 +198,39 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         bus_count=args.buses, matchers=args.fu_sets,
         counters=args.fu_sets, comparators=args.fu_sets,
         table_kind=args.table)
-    evaluator = Evaluator(table_entries=args.entries)
-    print(evaluator.evaluate(config).summary())
+    evaluator = Evaluator(table_entries=args.entries,
+                          detect_hazards=args.hazards)
+    result = evaluator.evaluate(config)
+    print(result.summary())
+    if args.hazards and result.run is not None \
+            and result.run.hazard_report is not None:
+        print(result.run.hazard_report.render())
     return 0
 
 
 def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.reporting import aggregate_hazard_counts, render_hazard_summary
+
     constraints = DesignConstraints(max_area_mm2=args.max_area,
                                     max_power_w=args.max_power)
-    explorer = GreedyExplorer(Evaluator(), constraints)
+    evaluator = Evaluator(detect_hazards=args.hazards)
+    runner = None
+    if args.journal:
+        runner = _make_campaign_runner(evaluator, args)
+    explorer = GreedyExplorer(runner if runner is not None else evaluator,
+                              constraints)
     outcome = explorer.explore(DesignSpace())
     print(f"evaluations used: {outcome.evaluations_used}")
+    if runner is not None and runner.resumed:
+        print(f"(resumed {runner.resumed} evaluation(s) "
+              f"from {args.journal})", file=sys.stderr)
+    for config in (runner.quarantined if runner is not None
+                   else outcome.failed):
+        print(f"quarantined: {config.describe()}")
+    if args.hazards:
+        counts = runner.hazard_counts() if runner is not None \
+            else aggregate_hazard_counts(outcome.evaluated)
+        print(render_hazard_summary(counts))
     if outcome.best is None:
         print("no configuration satisfies the constraints")
         return 1

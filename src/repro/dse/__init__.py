@@ -1,5 +1,15 @@
 """Design-space exploration: configurations, evaluation, Table 1, search."""
 
+from repro.dse.campaign import (
+    CampaignPolicy,
+    CampaignResult,
+    CampaignRunner,
+    EvaluationFailure,
+    PoisonedEvaluator,
+    load_journal,
+    run_table1_campaign,
+    write_atomic,
+)
 from repro.dse.config import (
     ArchitectureConfiguration,
     PAPER_CONFIGURATIONS,
@@ -22,6 +32,9 @@ from repro.dse.table1 import (
 )
 
 __all__ = [
+    "CampaignPolicy", "CampaignResult", "CampaignRunner",
+    "EvaluationFailure", "PoisonedEvaluator", "load_journal",
+    "run_table1_campaign", "write_atomic",
     "ArchitectureConfiguration", "PAPER_CONFIGURATIONS",
     "paper_configurations",
     "EvaluationResult", "Evaluator",

@@ -1,0 +1,510 @@
+"""Crash-safe, resumable design-space campaigns with fault isolation.
+
+A *campaign* is a long-running sweep of evaluations — an exhaustive
+enumeration, a Table 1 regeneration, or a heuristic explorer's walk. The
+bare :class:`~repro.dse.evaluator.Evaluator` raises on the first bad
+configuration, which forfeits every result a long sweep already earned.
+:class:`CampaignRunner` wraps an evaluator with the resilience a
+production sweep needs:
+
+* **fault isolation** — a failing configuration becomes a structured
+  :class:`EvaluationFailure` record (error class, message, cycle/pc,
+  retries, loop signature) instead of an exception that aborts the sweep;
+* **cycle-budget deadlines** — each evaluation runs under a cycle budget;
+  a budget-class failure (:class:`~repro.errors.CycleBudgetError`) is
+  retried once at a larger budget before the configuration is declared
+  runaway;
+* **quarantine** — configurations that fail deterministically (functional
+  mismatches, structural errors, exhausted retries) are quarantined:
+  recorded, reported, and never re-evaluated;
+* **crash-safe persistence** — every outcome is appended to a JSONL
+  journal, fsync'd per record, so a killed campaign loses at most the
+  record being written;
+* **resume** — replaying the journal skips every already-evaluated
+  configuration (a torn trailing record is discarded and the journal is
+  compacted via atomic temp-file + rename); a resumed campaign's final
+  output is byte-identical to an uninterrupted run's.
+
+Journal records carry the evaluation's *inputs* to the physical
+estimation (cycles, utilisation, required clock, program-store footprint),
+so replayed results are reconstructed exactly through the same pure
+estimation functions rather than approximated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dse.config import (
+    ArchitectureConfiguration,
+    TABLE_KINDS,
+    paper_configurations,
+)
+from repro.dse.evaluator import (
+    DEFAULT_EVALUATION_MAX_CYCLES,
+    EvaluationResult,
+    Evaluator,
+)
+from repro.dse.table1 import PAPER_TABLE1, Table1Row
+from repro.errors import (
+    CampaignError,
+    CycleBudgetError,
+    EvaluationFailureError,
+    ReproError,
+)
+from repro.estimation.area import estimate_area
+from repro.estimation.power import estimate_power
+
+JOURNAL_VERSION = 1
+
+
+# -- configuration (de)serialisation -----------------------------------------------
+
+
+def config_to_dict(config: ArchitectureConfiguration) -> Dict[str, object]:
+    return dataclasses.asdict(config)
+
+
+def config_from_dict(payload: Dict[str, object]) -> ArchitectureConfiguration:
+    return ArchitectureConfiguration(**payload)
+
+
+def config_key(config: ArchitectureConfiguration) -> str:
+    """Canonical identity of the *requested* configuration.
+
+    The CAM search latency is normalised away: it is an output of the
+    evaluator's clock/latency fixed point, not part of the request.
+    """
+    payload = config_to_dict(config.with_cam_latency(1))
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+# -- journal I/O -------------------------------------------------------------------
+
+
+def write_atomic(path: str, text: str) -> None:
+    """Write *text* to *path* via fsync'd temp file + atomic rename."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".campaign-",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    dir_fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+def _record_line(record: Dict[str, object]) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def load_journal(path: str) -> Tuple[List[Dict[str, object]], int]:
+    """Parse a journal, tolerating a crash-torn tail.
+
+    Returns ``(records, discarded)`` where *discarded* counts lines that
+    failed to parse (typically one: the record being written when the
+    process died). Discarded configurations are simply re-evaluated.
+    """
+    records: List[Dict[str, object]] = []
+    discarded = 0
+    with open(path, encoding="utf-8") as handle:
+        raw = handle.read()
+    for line in raw.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            discarded += 1
+            continue
+        if not isinstance(record, dict) or record.get("v") != JOURNAL_VERSION \
+                or "key" not in record or "status" not in record:
+            discarded += 1
+            continue
+        records.append(record)
+    return records, discarded
+
+
+# -- structured outcomes -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EvaluationFailure:
+    """One configuration's diagnosed, contained failure."""
+
+    config: ArchitectureConfiguration
+    error: str  # exception class name
+    message: str
+    retries: int = 0
+    cycle_budget: Optional[int] = None
+    cycles_executed: Optional[int] = None
+    pc: Optional[int] = None
+    loop: Optional[str] = None
+    mismatches: Tuple[str, ...] = ()
+    quarantined: bool = True
+
+    def render(self) -> str:
+        parts = [f"{self.config.describe()}: {self.error}"]
+        if self.retries:
+            parts.append(f"after {self.retries} retry(ies), final budget "
+                         f"{self.cycle_budget} cycles")
+        if self.loop:
+            parts.append(self.loop)
+        if self.mismatches:
+            parts.append(f"{len(self.mismatches)} mismatch(es)")
+        return "; ".join(parts)
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one (possibly resumed) campaign sweep."""
+
+    records: List[Dict[str, object]]  # input order, one per configuration
+    results: List[EvaluationResult]
+    failures: List[EvaluationFailure]
+    resumed: int = 0
+    discarded_records: int = 0
+
+    @property
+    def quarantined(self) -> List[ArchitectureConfiguration]:
+        return [f.config for f in self.failures if f.quarantined]
+
+    def render(self) -> str:
+        """The campaign's final artifact: one deterministic text table.
+
+        Rendered purely from journal records, so a resumed campaign
+        reproduces an uninterrupted run byte for byte.
+        """
+        from repro.reporting.tables import render_rows
+        rows: List[List[object]] = []
+        for record in self.records:
+            config = config_from_dict(record["config"])
+            if record["status"] == "ok":
+                result = result_from_record(record)
+                area = (f"{result.area_mm2:.2f}"
+                        if result.area_mm2 is not None else "NA")
+                power = (f"{result.power_w:.3f}"
+                         if result.power_w is not None else "NA")
+                rows.append([
+                    config.table_kind, config.label(), "ok",
+                    f"{result.required_clock_hz / 1e6:.1f}",
+                    f"{result.bus_utilization * 100:.1f}",
+                    area, power])
+            else:
+                rows.append([config.table_kind, config.label(),
+                             "QUARANTINED", record.get("error", "?"),
+                             "", "", ""])
+        table = render_rows(
+            ["Table", "Configuration", "Status", "Clock MHz", "Bus%",
+             "Area mm2", "Power W"], rows)
+        # Deliberately free of resume/journal bookkeeping: the artifact
+        # must be byte-identical whether the campaign ran through or was
+        # killed and resumed.
+        footer = (f"{len(self.results)} evaluated, "
+                  f"{len(self.quarantined)} quarantined")
+        return table + "\n" + footer
+
+    def write_output(self, path: str) -> None:
+        write_atomic(path, self.render() + "\n")
+
+
+# -- record <-> result conversion --------------------------------------------------
+
+
+def result_to_record(result: EvaluationResult,
+                     requested: ArchitectureConfiguration
+                     ) -> Dict[str, object]:
+    record: Dict[str, object] = {
+        "v": JOURNAL_VERSION,
+        "key": config_key(requested),
+        "status": "ok",
+        "config": config_to_dict(requested),
+        "resolved": config_to_dict(result.config),
+        "cycles_per_packet": result.cycles_per_packet,
+        "bus_utilization": result.bus_utilization,
+        "required_clock_hz": result.required_clock_hz,
+        "feasible": result.feasible,
+        "program_store_kbyte": Evaluator._program_store_kbyte(result.run),
+    }
+    if result.run is not None and result.run.hazard_report is not None:
+        record["hazards"] = result.run.hazard_report.by_kind()
+    return record
+
+
+def result_from_record(record: Dict[str, object]) -> EvaluationResult:
+    """Reconstruct a result exactly from its journal record.
+
+    The record stores the estimation *inputs*; area and power are
+    recomputed through the same pure estimation functions, so every float
+    matches the live evaluation bit for bit.
+    """
+    config = config_from_dict(record["resolved"])
+    clock = record["required_clock_hz"]
+    feasible = record["feasible"]
+    area = power = None
+    if feasible:
+        area = estimate_area(
+            config, clock,
+            program_store_kbyte=record["program_store_kbyte"])
+        power = estimate_power(
+            config, clock, bus_utilization=record["bus_utilization"],
+            area=area)
+    return EvaluationResult(
+        config=config,
+        cycles_per_packet=record["cycles_per_packet"],
+        bus_utilization=record["bus_utilization"],
+        required_clock_hz=clock, feasible=feasible,
+        area=area, power=power, run=None)
+
+
+def failure_to_record(failure: EvaluationFailure) -> Dict[str, object]:
+    return {
+        "v": JOURNAL_VERSION,
+        "key": config_key(failure.config),
+        "status": "failed",
+        "config": config_to_dict(failure.config),
+        "error": failure.error,
+        "message": failure.message,
+        "retries": failure.retries,
+        "cycle_budget": failure.cycle_budget,
+        "cycles_executed": failure.cycles_executed,
+        "pc": failure.pc,
+        "loop": failure.loop,
+        "mismatches": list(failure.mismatches),
+        "quarantined": failure.quarantined,
+    }
+
+
+def failure_from_record(record: Dict[str, object]) -> EvaluationFailure:
+    return EvaluationFailure(
+        config=config_from_dict(record["config"]),
+        error=record["error"],
+        message=record["message"],
+        retries=record.get("retries", 0),
+        cycle_budget=record.get("cycle_budget"),
+        cycles_executed=record.get("cycles_executed"),
+        pc=record.get("pc"),
+        loop=record.get("loop"),
+        mismatches=tuple(record.get("mismatches", ())),
+        quarantined=record.get("quarantined", True),
+    )
+
+
+# -- the runner --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CampaignPolicy:
+    """Deadline and retry policy for one campaign."""
+
+    cycle_budget: int = DEFAULT_EVALUATION_MAX_CYCLES
+    retry_budget_factor: int = 4
+    max_retries: int = 1
+
+
+class CampaignRunner:
+    """Journal-backed, fault-isolating wrapper around an evaluator.
+
+    Duck-type compatible with :class:`Evaluator` (``evaluate(config)``),
+    so explorers run on top of it unchanged: journal hits short-circuit,
+    fresh evaluations are guarded and persisted, and failures surface as
+    :class:`~repro.errors.EvaluationFailureError` (which the explorers
+    treat as a dead end, not a crash).
+    """
+
+    def __init__(self, evaluator: Evaluator,
+                 journal_path: Optional[str] = None,
+                 resume: bool = False,
+                 policy: Optional[CampaignPolicy] = None):
+        self.evaluator = evaluator
+        self.journal_path = journal_path
+        self.policy = policy or CampaignPolicy()
+        self.resumed = 0
+        self.discarded_records = 0
+        self._records: Dict[str, Dict[str, object]] = {}
+        self._replayed_keys: set = set()
+        if resume:
+            if journal_path is None:
+                raise CampaignError("resume requested without a journal")
+            if os.path.exists(journal_path):
+                records, discarded = load_journal(journal_path)
+                self.discarded_records = discarded
+                for record in records:
+                    self._records[record["key"]] = record
+                self._replayed_keys = set(self._records)
+                if discarded:
+                    # Compact away the torn tail so the journal is clean
+                    # before new records are appended after it.
+                    write_atomic(journal_path, "".join(
+                        _record_line(r) + "\n" for r in records))
+        elif journal_path is not None and os.path.exists(journal_path) \
+                and os.path.getsize(journal_path) > 0:
+            raise CampaignError(
+                f"journal {journal_path!r} already exists; resume the "
+                f"campaign (resume=True / --resume) or remove the file")
+
+    # -- evaluator-compatible surface ---------------------------------------------
+
+    def evaluate(self, config: ArchitectureConfiguration) -> EvaluationResult:
+        """Journal-aware, fault-isolated evaluation of one configuration.
+
+        Raises :class:`EvaluationFailureError` (carrying the structured
+        failure) instead of the evaluator's raw errors; the failure is
+        already recorded and quarantined by the time it is raised.
+        """
+        key = config_key(config)
+        record = self._records.get(key)
+        if record is None:
+            record = self._evaluate_fresh(config, key)
+        elif key in self._replayed_keys:
+            self._replayed_keys.discard(key)
+            self.resumed += 1
+        if record["status"] == "ok":
+            return result_from_record(record)
+        raise EvaluationFailureError(record["message"],
+                                     failure=failure_from_record(record))
+
+    # -- sweep driver -------------------------------------------------------------
+
+    def run(self, configs: Sequence[ArchitectureConfiguration]
+            ) -> CampaignResult:
+        """Sweep *configs* in order; never raises on a bad configuration."""
+        ordered: List[Dict[str, object]] = []
+        results: List[EvaluationResult] = []
+        failures: List[EvaluationFailure] = []
+        for config in configs:
+            try:
+                results.append(self.evaluate(config))
+            except EvaluationFailureError as exc:
+                failures.append(exc.failure)
+            ordered.append(self._records[config_key(config)])
+        return CampaignResult(records=ordered, results=results,
+                              failures=failures, resumed=self.resumed,
+                              discarded_records=self.discarded_records)
+
+    @property
+    def quarantined(self) -> List[ArchitectureConfiguration]:
+        return [failure_from_record(r).config
+                for r in self._records.values()
+                if r["status"] == "failed" and r.get("quarantined", True)]
+
+    def hazard_counts(self) -> Dict[str, int]:
+        """Hazard occurrences summed over every recorded evaluation."""
+        counts: Dict[str, int] = {}
+        for record in self._records.values():
+            for kind, count in record.get("hazards", {}).items():
+                counts[kind] = counts.get(kind, 0) + count
+        return counts
+
+    # -- internals ----------------------------------------------------------------
+
+    def _evaluate_fresh(self, config: ArchitectureConfiguration,
+                        key: str) -> Dict[str, object]:
+        budget = self.policy.cycle_budget
+        retries = 0
+        while True:
+            try:
+                result = self.evaluator.evaluate(config, max_cycles=budget)
+            except CycleBudgetError as exc:
+                if retries < self.policy.max_retries:
+                    retries += 1
+                    budget *= self.policy.retry_budget_factor
+                    continue
+                failure = EvaluationFailure(
+                    config=config, error=type(exc).__name__,
+                    message=str(exc), retries=retries, cycle_budget=budget,
+                    cycles_executed=exc.cycles, pc=exc.pc,
+                    loop=exc.loop.render() if exc.loop else None)
+                return self._persist(key, failure_to_record(failure))
+            except ReproError as exc:
+                # Deterministic failure classes (functional mismatch,
+                # structural/configuration errors): no retry can help.
+                run = getattr(exc, "run", None)
+                failure = EvaluationFailure(
+                    config=config, error=type(exc).__name__,
+                    message=str(exc), retries=retries,
+                    cycles_executed=(run.report.cycles
+                                     if run is not None else None),
+                    mismatches=tuple(run.mismatches)
+                    if run is not None else ())
+                return self._persist(key, failure_to_record(failure))
+            return self._persist(key, result_to_record(result, config))
+
+    def _persist(self, key: str,
+                 record: Dict[str, object]) -> Dict[str, object]:
+        self._records[key] = record
+        if self.journal_path is not None:
+            with open(self.journal_path, "a", encoding="utf-8") as handle:
+                handle.write(_record_line(record) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+        return record
+
+
+class PoisonedEvaluator:
+    """Evaluator wrapper that fails deterministically on chosen configs.
+
+    The fault-injection fixture for campaign resilience (experiment E5 and
+    the campaign tests): evaluations of *poisoned* configurations raise
+    the given error class; everything else passes through untouched.
+    """
+
+    def __init__(self, evaluator: Evaluator,
+                 poisoned: Sequence[ArchitectureConfiguration],
+                 error: type = None):
+        from repro.errors import FunctionalMismatchError
+        self.evaluator = evaluator
+        self._poisoned = {config_key(c) for c in poisoned}
+        self._error = error or FunctionalMismatchError
+
+    def evaluate(self, config: ArchitectureConfiguration,
+                 max_cycles: Optional[int] = None) -> EvaluationResult:
+        if config_key(config) in self._poisoned:
+            raise self._error(
+                f"poisoned configuration {config.describe()}")
+        return self.evaluator.evaluate(config, max_cycles=max_cycles)
+
+    def __getattr__(self, name):
+        return getattr(self.evaluator, name)
+
+
+# -- Table 1 over a campaign -------------------------------------------------------
+
+
+def run_table1_campaign(runner: CampaignRunner,
+                        kinds: Sequence[str] = TABLE_KINDS
+                        ) -> Tuple[List[Table1Row], CampaignResult]:
+    """Regenerate Table 1 under campaign resilience.
+
+    Returns the rows for every configuration that evaluated successfully
+    (paired with the paper's values, in paper order) plus the full
+    campaign result; quarantined configurations are simply absent from
+    the rows and present in ``result.failures``.
+    """
+    configs = [config for kind in kinds
+               for config in paper_configurations(kind)]
+    campaign = runner.run(configs)
+    paper_by_key = {(r.table_kind, r.config_label): r for r in PAPER_TABLE1}
+    rows = [Table1Row(paper=paper_by_key[(result.config.table_kind,
+                                          result.config.label())],
+                      measured=result)
+            for result in campaign.results]
+    return rows, campaign

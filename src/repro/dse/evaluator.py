@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.dse.config import ArchitectureConfiguration
-from repro.errors import SimulationError
+from repro.errors import FunctionalMismatchError
 from repro.estimation.area import AreaBreakdown, estimate_area
 from repro.estimation.frequency import ThroughputConstraint
 from repro.estimation.power import PowerBreakdown, estimate_power
@@ -30,6 +30,7 @@ from repro.routing.entry import RouteEntry
 from repro.workload import generate_routes, worst_case_workload
 
 DEFAULT_PACKET_BATCH = 12
+DEFAULT_EVALUATION_MAX_CYCLES = 5_000_000
 _MAX_FIXED_POINT_ROUNDS = 12
 
 
@@ -44,7 +45,9 @@ class EvaluationResult:
     feasible: bool
     area: Optional[AreaBreakdown]
     power: Optional[PowerBreakdown]
-    run: ForwardingRunResult
+    #: None when the result was reconstructed from a campaign journal
+    #: (the scalar metrics above are preserved; the raw run is not)
+    run: Optional[ForwardingRunResult]
 
     @property
     def area_mm2(self) -> Optional[float]:
@@ -86,25 +89,38 @@ class Evaluator:
                  packets: Optional[Sequence[Tuple[int, bytes]]] = None,
                  constraint: Optional[ThroughputConstraint] = None,
                  packet_batch: int = DEFAULT_PACKET_BATCH,
-                 table_entries: int = 100):
+                 table_entries: int = 100,
+                 detect_hazards: bool = False):
         self.routes = list(routes) if routes is not None else \
             generate_routes(table_entries)
         self.packets = list(packets) if packets is not None else \
             worst_case_workload(self.routes, packet_batch)
         self.constraint = constraint or ThroughputConstraint()
+        self.detect_hazards = detect_hazards
         self.evaluations = 0
 
     # -- public -------------------------------------------------------------------
 
-    def evaluate(self, config: ArchitectureConfiguration) -> EvaluationResult:
+    def evaluate(self, config: ArchitectureConfiguration,
+                 max_cycles: Optional[int] = None) -> EvaluationResult:
+        """Evaluate one configuration.
+
+        *max_cycles* caps the simulation; exhausting it raises
+        :class:`~repro.errors.CycleBudgetError` (campaign runners use this
+        as a per-evaluation deadline). A functional mismatch raises
+        :class:`~repro.errors.FunctionalMismatchError` with the failed
+        :class:`ForwardingRunResult` attached as ``run`` so callers can
+        inspect the mismatch without re-simulating.
+        """
         if config.table_kind == "cam":
-            run, config = self._run_cam_fixed_point(config)
+            run, config = self._run_cam_fixed_point(config, max_cycles)
         else:
-            run = self._run(config)
+            run = self._run(config, max_cycles)
         if not run.correct:
-            raise SimulationError(
+            raise FunctionalMismatchError(
                 f"functional mismatch on {config.describe()}: "
-                f"{run.mismatches}")
+                f"{run.mismatches} ({run.report.cycles} cycles executed)",
+                run=run)
         cycles = run.cycles_per_packet
         clock = self.constraint.required_clock(cycles)
         feasible = clock <= MAX_CLOCK_HZ
@@ -130,9 +146,13 @@ class Evaluator:
 
     # -- internals --------------------------------------------------------------------
 
-    def _run(self, config: ArchitectureConfiguration) -> ForwardingRunResult:
+    def _run(self, config: ArchitectureConfiguration,
+             max_cycles: Optional[int] = None) -> ForwardingRunResult:
         self.evaluations += 1
-        return run_forwarding(config, self.routes, self.packets)
+        return run_forwarding(
+            config, self.routes, self.packets,
+            max_cycles=max_cycles or DEFAULT_EVALUATION_MAX_CYCLES,
+            detect_hazards=self.detect_hazards)
 
     @staticmethod
     def _program_store_kbyte(run: ForwardingRunResult) -> float:
@@ -143,14 +163,15 @@ class Evaluator:
         scheme = EncodingScheme.for_processor(run.machine.processor)
         return scheme.program_bytes(run.program_length) / 1024.0
 
-    def _run_cam_fixed_point(self, config: ArchitectureConfiguration
+    def _run_cam_fixed_point(self, config: ArchitectureConfiguration,
+                             max_cycles: Optional[int] = None,
                              ) -> Tuple[ForwardingRunResult,
                                         ArchitectureConfiguration]:
         latency = 1
         run = None
         for _ in range(_MAX_FIXED_POINT_ROUNDS):
             candidate = config.with_cam_latency(latency)
-            run = self._run(candidate)
+            run = self._run(candidate, max_cycles)
             clock = self.constraint.required_clock(run.cycles_per_packet)
             next_latency = max(
                 1, math.ceil(CAM_SEARCH_TIME_NS * 1e-9 * clock))

@@ -25,6 +25,7 @@ from repro.dse.config import ArchitectureConfiguration
 from repro.dse.evaluator import EvaluationResult, Evaluator
 from repro.dse.pareto import DesignConstraints, select_best
 from repro.dse.space import DesignSpace
+from repro.errors import SimulationError
 
 
 @dataclass
@@ -32,6 +33,9 @@ class ExplorationOutcome:
     best: Optional[EvaluationResult]
     evaluated: List[EvaluationResult] = field(default_factory=list)
     evaluations_used: int = 0
+    #: configurations whose evaluation failed and were skipped by the
+    #: search instead of aborting it
+    failed: List[ArchitectureConfiguration] = field(default_factory=list)
 
 
 def _score(result: EvaluationResult,
@@ -66,7 +70,12 @@ class GreedyExplorer:
                  constraints: Optional[DesignConstraints] = None):
         self.evaluator = evaluator
         self.constraints = constraints or DesignConstraints()
-        self._cache: Dict[ArchitectureConfiguration, EvaluationResult] = {}
+        #: keyed by the *logical* configuration (CAM search latency
+        #: normalised away — the evaluator's fixed point re-resolves it),
+        #: so restarts and repeated explore() calls reuse every result;
+        #: ``None`` marks a configuration whose evaluation failed.
+        self._cache: Dict[ArchitectureConfiguration,
+                          Optional[EvaluationResult]] = {}
 
     def explore(self, space: DesignSpace) -> ExplorationOutcome:
         best: Optional[EvaluationResult] = None
@@ -83,18 +92,32 @@ class GreedyExplorer:
             if best is None or (_score(candidate, self.constraints)
                                 < _score(best, self.constraints)):
                 best = candidate
-        evaluated = list(self._cache.values())
+        evaluated = [r for r in self._cache.values() if r is not None]
+        failed = [c for c, r in self._cache.items() if r is None]
         final = best if best is not None and \
             self.constraints.admits(best) else None
         return ExplorationOutcome(best=final, evaluated=evaluated,
-                                  evaluations_used=len(self._cache))
+                                  evaluations_used=len(self._cache),
+                                  failed=failed)
 
     # -- internals --------------------------------------------------------------------
 
-    def _evaluate(self, config: ArchitectureConfiguration) -> EvaluationResult:
-        if config not in self._cache:
-            self._cache[config] = self.evaluator.evaluate(config)
-        return self._cache[config]
+    @staticmethod
+    def _key(config: ArchitectureConfiguration) -> ArchitectureConfiguration:
+        return config.with_cam_latency(1)
+
+    def _evaluate(self, config: ArchitectureConfiguration
+                  ) -> Optional[EvaluationResult]:
+        key = self._key(config)
+        if key not in self._cache:
+            try:
+                self._cache[key] = self.evaluator.evaluate(key)
+            except SimulationError:
+                # One bad configuration must not abort the whole climb:
+                # remember the failure (so it is never retried) and let
+                # the search route around it.
+                self._cache[key] = None
+        return self._cache[key]
 
     def _neighbours(self, config: ArchitectureConfiguration,
                     space: DesignSpace) -> List[ArchitectureConfiguration]:
@@ -116,9 +139,13 @@ class GreedyExplorer:
     def _climb(self, start: ArchitectureConfiguration,
                space: DesignSpace) -> Optional[EvaluationResult]:
         current = self._evaluate(start)
+        if current is None:
+            return None
         while True:
-            moves = [self._evaluate(n)
-                     for n in self._neighbours(current.config, space)]
+            moves = [m for m in
+                     (self._evaluate(n)
+                      for n in self._neighbours(current.config, space))
+                     if m is not None]
             if not moves:
                 return current
             best_move = min(moves, key=lambda r: _score(r, self.constraints))

@@ -53,4 +53,52 @@ class FaultInjectionError(ReproError):
 
 
 class SimulationError(TtaError):
-    """The cycle-accurate simulation detected an inconsistency."""
+    """The cycle-accurate simulation detected an inconsistency.
+
+    ``run`` optionally carries the partial/failed run artefact (a
+    :class:`repro.programs.runner.ForwardingRunResult` or similar) so
+    callers can diagnose a failure without re-simulating.
+    """
+
+    def __init__(self, message: str, *, run=None):
+        super().__init__(message)
+        self.run = run
+
+
+class FunctionalMismatchError(SimulationError):
+    """Simulated forwarding behaviour diverged from the golden model.
+
+    Deterministic for a given configuration/workload: retrying cannot
+    succeed, so campaign runners quarantine the configuration.
+    """
+
+
+class CycleBudgetError(SimulationError):
+    """A program exceeded its cycle budget (did not halt in time).
+
+    May be a genuinely runaway program or merely a budget set too low, so
+    campaign runners retry once at a larger budget before quarantining.
+    ``cycles`` is the budget that was exhausted, ``pc`` the program
+    counter at the time, and ``loop`` an optional pc loop signature
+    (see :mod:`repro.tta.hazards`).
+    """
+
+    def __init__(self, message: str, *, cycles: int = 0, pc: int = 0,
+                 loop=None, run=None):
+        super().__init__(message, run=run)
+        self.cycles = cycles
+        self.pc = pc
+        self.loop = loop
+
+
+class CampaignError(ReproError):
+    """A design-space campaign is misconfigured or its journal is invalid."""
+
+
+class EvaluationFailureError(SimulationError):
+    """A campaign evaluation failed; ``failure`` holds the structured
+    :class:`repro.dse.campaign.EvaluationFailure` record."""
+
+    def __init__(self, message: str, *, failure=None):
+        super().__init__(message)
+        self.failure = failure

@@ -20,6 +20,7 @@ from repro.programs.forwarding import MODE_BENCH, build_forwarding_program
 from repro.programs.machine import RouterMachine, build_machine
 from repro.routing import make_table
 from repro.routing.entry import RouteEntry
+from repro.tta.hazards import HazardDetector, HazardReport
 from repro.tta.simulator import Simulator
 from repro.tta.stats import SimulationReport
 
@@ -38,6 +39,8 @@ class ForwardingRunResult:
     #: store sizing, tracing, punt-queue processing)
     machine: Optional["RouterMachine"] = None
     program_length: int = 0
+    #: populated when the run was made with ``detect_hazards=True``
+    hazard_report: Optional[HazardReport] = None
 
     @property
     def cycles_per_packet(self) -> float:
@@ -93,7 +96,8 @@ def run_forwarding(config: ArchitectureConfiguration,
                    packets: Sequence[Tuple[int, bytes]],
                    machine: Optional[RouterMachine] = None,
                    max_cycles: int = 5_000_000,
-                   verify: bool = True) -> ForwardingRunResult:
+                   verify: bool = True,
+                   detect_hazards: bool = False) -> ForwardingRunResult:
     """Simulate one batch of datagrams through a fresh machine."""
     if machine is None:
         machine = build_machine(config, table_capacity=max(len(routes), 100))
@@ -108,6 +112,10 @@ def run_forwarding(config: ArchitectureConfiguration,
 
     machine.processor.reset()
     simulator = Simulator(machine.processor, program, strict=True)
+    detector = None
+    if detect_hazards:
+        detector = HazardDetector(machine.processor)
+        detector.attach(simulator)
     report = simulator.run(max_cycles=max_cycles)
 
     mismatches: List[str] = []
@@ -122,6 +130,7 @@ def run_forwarding(config: ArchitectureConfiguration,
         mismatches=mismatches,
         machine=machine,
         program_length=len(program),
+        hazard_report=detector.report if detector else None,
     )
 
 

@@ -5,6 +5,10 @@ from repro.reporting.architecture import (
     describe_machine,
     to_dot,
 )
+from repro.reporting.hazards import (
+    aggregate_hazard_counts,
+    render_hazard_summary,
+)
 from repro.reporting.tables import render_rows, render_sweep
 from repro.reporting.utilization import (
     idle_units,
@@ -15,5 +19,6 @@ from repro.reporting.utilization import (
 
 __all__ = ["render_rows", "render_sweep",
            "architecture_manifest", "describe_machine", "to_dot",
+           "aggregate_hazard_counts", "render_hazard_summary",
            "idle_units", "module_utilization", "render_utilization",
            "saturated_units"]

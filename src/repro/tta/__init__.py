@@ -23,12 +23,21 @@ from repro.tta.ports import (
     WORD_MASK,
     truncate,
 )
+from repro.tta.hazards import (
+    Hazard,
+    HazardDetector,
+    HazardReport,
+    LoopSignature,
+    loop_signature,
+)
 from repro.tta.processor import TacoProcessor
 from repro.tta.simulator import DEFAULT_MAX_CYCLES, Simulator, simulate
 from repro.tta.stats import SimulationReport
 from repro.tta.trace import TracingSimulator, trace_program
 
 __all__ = [
+    "Hazard", "HazardDetector", "HazardReport", "LoopSignature",
+    "loop_signature",
     "Bus", "Interconnect",
     "NetworkController", "NC_NAME", "PC_PORT", "HALT_PORT",
     "SlotPool", "SLOT_HEADER_WORDS",

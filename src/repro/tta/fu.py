@@ -137,6 +137,10 @@ class FunctionalUnit:
                 remaining.append((ready, results, bit))
         self._pending = remaining
 
+    def in_flight(self, cycle: int) -> bool:
+        """True while an operation triggered earlier has not completed."""
+        return cycle < self._busy_until
+
     def tick(self, cycle: int) -> None:
         """End-of-cycle hook for autonomous units (ippu/oppu DMA engines)."""
 

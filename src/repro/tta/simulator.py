@@ -21,9 +21,11 @@ plus total cycle count plus per-bus/per-FU utilisation.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from collections import deque
+from typing import Deque, List, Optional, Tuple
 
-from repro.errors import SimulationError
+from repro.errors import CycleBudgetError, SimulationError
+from repro.tta.hazards import PC_WINDOW, loop_signature
 from repro.tta.instruction import Move
 from repro.tta.memory import ProgramMemory
 from repro.tta.ports import Immediate, PortRef
@@ -45,6 +47,8 @@ class Simulator:
         self.report = SimulationReport(
             bus_busy_cycles=[0] * processor.bus_count)
         self.cycle = 0
+        #: trailing pcs for runaway-loop diagnosis on budget exhaustion
+        self.pc_history: Deque[int] = deque(maxlen=PC_WINDOW)
         #: optional observer: on_move(cycle, pc, bus, move, value);
         #: value is None when a guard squashed the move
         self.move_hook = None
@@ -55,9 +59,13 @@ class Simulator:
         """Run until the program halts; raises if *max_cycles* is exceeded."""
         while not self.processor.nc.halted:
             if self.cycle >= max_cycles:
-                raise SimulationError(
+                pc = self.processor.nc.pc
+                signature = loop_signature(self.pc_history)
+                detail = f"; {signature.render()}" if signature else ""
+                raise CycleBudgetError(
                     f"program did not halt within {max_cycles} cycles "
-                    f"(pc={self.processor.nc.pc})")
+                    f"(pc={pc}){detail}",
+                    cycles=max_cycles, pc=pc, loop=signature)
             self.step()
         self.report.halted = True
         return self.report
@@ -83,6 +91,7 @@ class Simulator:
         # 2. fetch
         instruction = self.program.fetch(nc.pc)
         self.report.instructions_fetched += 1
+        self.pc_history.append(nc.pc)
 
         # 3. guards + source reads
         issued: List[Tuple[int, Move, int]] = []

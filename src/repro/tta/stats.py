@@ -22,6 +22,9 @@ class SimulationReport:
     bus_busy_cycles: List[int] = field(default_factory=list)
     fu_triggers: Dict[str, int] = field(default_factory=dict)
     halted: bool = False
+    #: hazard occurrences by kind, populated when a
+    #: :class:`repro.tta.hazards.HazardDetector` is attached
+    hazards: Dict[str, int] = field(default_factory=dict)
 
     @property
     def bus_count(self) -> int:
@@ -60,9 +63,12 @@ class SimulationReport:
                 other.bus_busy_cycles)],
             fu_triggers=dict(self.fu_triggers),
             halted=other.halted,
+            hazards=dict(self.hazards),
         )
         for name, count in other.fu_triggers.items():
             merged.fu_triggers[name] = merged.fu_triggers.get(name, 0) + count
+        for kind, count in other.hazards.items():
+            merged.hazards[kind] = merged.hazards.get(kind, 0) + count
         return merged
 
     def summary(self) -> str:
@@ -76,4 +82,6 @@ class SimulationReport:
             lines.append(f"  bus {i}:            {util * 100:.1f}%")
         for name in sorted(self.fu_triggers):
             lines.append(f"  {name} triggers: {self.fu_triggers[name]}")
+        for kind in sorted(self.hazards):
+            lines.append(f"  hazard {kind}: {self.hazards[kind]}")
         return "\n".join(lines)

@@ -4,11 +4,13 @@ import pytest
 
 from repro.dse import (
     ArchitectureConfiguration,
+    CampaignRunner,
     DesignConstraints,
     DesignSpace,
     Evaluator,
     ExhaustiveExplorer,
     GreedyExplorer,
+    PoisonedEvaluator,
     generate_table1,
     pareto_front,
     paper_configurations,
@@ -164,6 +166,61 @@ class TestExplorers:
         assert greedy.best is not None
         assert greedy.best.config == exhaustive.best.config
         assert greedy.evaluations_used <= exhaustive.evaluations_used
+
+    def test_cache_counts_only_distinct_evaluations(self):
+        class CountingEvaluator:
+            def __init__(self, evaluator):
+                self.evaluator = evaluator
+                self.seen = []
+
+            def evaluate(self, config, max_cycles=None):
+                self.seen.append(config.with_cam_latency(1))
+                return self.evaluator.evaluate(config,
+                                               max_cycles=max_cycles)
+
+            def __getattr__(self, name):
+                return getattr(self.evaluator, name)
+
+        counting = CountingEvaluator(Evaluator(table_entries=20,
+                                               packet_batch=4))
+        explorer = GreedyExplorer(counting)
+        explorer.explore(paper_space())
+        explorer.explore(DesignSpace(bus_counts=(1, 2, 3),
+                                     fu_set_counts=(1, 3)))
+        outcome = explorer.explore(paper_space())
+        # no logical configuration is ever evaluated twice — the cache is
+        # keyed on the requested config with the CAM fixed-point latency
+        # normalised away, so later explorations reuse earlier results
+        assert len(counting.seen) == len(set(counting.seen))
+        assert outcome.evaluations_used == len(set(counting.seen))
+        assert outcome.evaluations_used == \
+            len(outcome.evaluated) + len(outcome.failed)
+
+    def test_explorer_routes_around_failures(self):
+        poison = ArchitectureConfiguration(bus_count=1,
+                                           table_kind="sequential")
+        wrapped = PoisonedEvaluator(
+            Evaluator(table_entries=20, packet_batch=4), [poison])
+        outcome = GreedyExplorer(wrapped).explore(paper_space())
+        # the sequential climb dies at its start; the other table options
+        # still produce a winner and the failure is reported, not raised
+        assert outcome.best is not None
+        assert poison in outcome.failed
+        assert outcome.evaluations_used == \
+            len(outcome.evaluated) + len(outcome.failed)
+
+    def test_explorer_over_campaign_runner(self, tmp_path):
+        poison = ArchitectureConfiguration(bus_count=1,
+                                           table_kind="sequential")
+        journal = tmp_path / "journal.jsonl"
+        runner = CampaignRunner(
+            PoisonedEvaluator(Evaluator(table_entries=20, packet_batch=4),
+                              [poison]),
+            journal_path=str(journal))
+        outcome = GreedyExplorer(runner).explore(paper_space())
+        assert outcome.best is not None
+        assert runner.quarantined == [poison]
+        assert journal.exists() and journal.read_text().strip()
 
     def test_space_enumeration(self):
         space = DesignSpace(bus_counts=(1, 2), fu_set_counts=(1,),
