@@ -7,16 +7,37 @@ processor model with the paper's functional-unit library, an assembly
 toolchain (move IR, optimiser, bus scheduler), an IPv6 + RIPng protocol
 substrate, three routing-table implementations (sequential, balanced
 tree, CAM), physical area/power/frequency estimation, and the
-design-space exploration that regenerates the paper's Table 1.
+design-space exploration that regenerates the paper's Table 1 — in
+parallel over a process pool when asked.
 
-Quick start::
+Quick start (the stable facade — prefer it over deep module paths)::
 
-    from repro.dse import Evaluator, generate_table1, render_table1
-    print(render_table1(generate_table1()))
+    from repro import api
+    rows = api.table1(jobs=4)      # parallel sweep, deterministic output
+    print(api.render_table1(rows))
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.errors import ReproError
+from repro import api
+from repro.api import (
+    ArchitectureConfiguration,
+    EvaluationResult,
+    ExplorationOutcome,
+    ResilienceReport,
+    Table1Row,
+    evaluate,
+    explore,
+    render_table1,
+    run_chaos,
+    table1,
+)
 
-__all__ = ["ReproError", "__version__"]
+__all__ = [
+    "api",
+    "evaluate", "table1", "explore", "run_chaos", "render_table1",
+    "ArchitectureConfiguration", "EvaluationResult", "ExplorationOutcome",
+    "ResilienceReport", "Table1Row",
+    "ReproError", "__version__",
+]

@@ -1,0 +1,191 @@
+"""Stable public facade for the repro package.
+
+The one import users need::
+
+    from repro import api
+
+    result = api.evaluate(api.ArchitectureConfiguration(
+        bus_count=3, table_kind="cam"))
+    rows = api.table1(jobs=4)          # parallel sweep, identical output
+    print(api.render_table1(rows))
+    outcome = api.explore(max_power=25.0, jobs=4)
+    report = api.run_chaos(seed=42, drop=0.10)
+
+Everything here returns the library's existing dataclasses
+(:class:`EvaluationResult`, :class:`Table1Row`,
+:class:`ExplorationOutcome`, :class:`ResilienceReport` — each with the
+uniform ``render()`` / ``to_dict()`` pair), so moving from the facade to
+the deep modules later costs nothing. The deep module paths
+(``repro.dse.evaluator``, ``repro.faults.scenario``, ...) remain
+importable but are **not** covered by any stability promise; this module
+is.
+
+``jobs=N`` fans design-space sweeps out over a ``multiprocessing``
+process pool (one evaluator per worker); the default ``jobs=1`` is the
+plain sequential path. Parallel output is byte-identical to sequential
+output, and the crash-safe ``journal``/``resume`` options work the same
+either way.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import List, Optional, Union
+
+from repro.dse.campaign import (
+    CampaignPolicy,
+    CampaignRunner,
+    run_table1_campaign,
+)
+from repro.dse.config import ArchitectureConfiguration
+from repro.dse.evaluator import (
+    DEFAULT_EVALUATION_MAX_CYCLES,
+    ArchitectureEvaluator,
+    EvaluationResult,
+)
+from repro.dse.explorer import ExplorationOutcome, GreedyExplorer
+from repro.dse.parallel import ParallelCampaignRunner
+from repro.dse.pareto import DesignConstraints
+from repro.dse.space import DesignSpace
+from repro.dse.table1 import Table1Row, generate_table1, render_table1
+from repro.faults.flaps import FlapSchedule
+from repro.faults.scenario import ChaosScenario, ResilienceReport
+from repro.router.network import line_topology, ring_topology
+
+__all__ = [
+    "evaluate",
+    "table1",
+    "explore",
+    "run_chaos",
+    "render_table1",
+    "ArchitectureConfiguration",
+    "DesignConstraints",
+    "DesignSpace",
+    "EvaluationResult",
+    "ExplorationOutcome",
+    "FlapSchedule",
+    "ResilienceReport",
+    "Table1Row",
+]
+
+
+def _evaluator_factory(entries: int, packets: int, hazards: bool):
+    """A picklable factory (``partial`` over the class) so the same spec
+    builds the evaluator in the parent and in every pool worker."""
+    return partial(ArchitectureEvaluator, table_entries=entries,
+                   packet_batch=packets, detect_hazards=hazards)
+
+
+def _runner(factory, *, jobs: int, journal: Optional[str], resume: bool,
+            cycle_budget: Optional[int]
+            ) -> Union[CampaignRunner, ParallelCampaignRunner]:
+    policy = CampaignPolicy(
+        cycle_budget=cycle_budget or DEFAULT_EVALUATION_MAX_CYCLES)
+    if jobs > 1:
+        return ParallelCampaignRunner(
+            factory, jobs=jobs, journal_path=journal, resume=resume,
+            policy=policy)
+    return CampaignRunner(factory(), journal_path=journal, resume=resume,
+                          policy=policy)
+
+
+def evaluate(config: ArchitectureConfiguration, *,
+             jobs: int = 1,
+             entries: int = 100,
+             packets: int = 12,
+             hazards: bool = False,
+             max_cycles: Optional[int] = None) -> EvaluationResult:
+    """Evaluate one architecture configuration (simulate + estimate).
+
+    *entries*/*packets* size the routing-table workload; *hazards*
+    attaches the TTA hazard detector; *max_cycles* caps the simulation.
+    *jobs* is accepted for signature symmetry with the sweep entry
+    points — a single evaluation always runs in-process.
+    """
+    del jobs  # a single evaluation has nothing to fan out
+    factory = _evaluator_factory(entries, packets, hazards)
+    return factory().evaluate(config, max_cycles=max_cycles)
+
+
+def table1(*, entries: int = 100,
+           packets: int = 12,
+           jobs: int = 1,
+           journal: Optional[str] = None,
+           resume: bool = False,
+           cycle_budget: Optional[int] = None,
+           hazards: bool = False) -> List[Table1Row]:
+    """Regenerate the paper's Table 1 (nine rows, paper values attached).
+
+    With ``jobs > 1`` the nine evaluations fan out over a process pool;
+    the returned rows — and their rendering via :func:`render_table1` —
+    are byte-identical to the sequential result. ``journal``/``resume``
+    make the sweep crash-safe exactly as on the CLI. Configurations that
+    fail under a journal-backed run are quarantined and absent from the
+    returned rows.
+    """
+    factory = _evaluator_factory(entries, packets, hazards)
+    if jobs == 1 and journal is None and not resume and not cycle_budget:
+        return generate_table1(factory())
+    runner = _runner(factory, jobs=jobs, journal=journal, resume=resume,
+                     cycle_budget=cycle_budget)
+    rows, _ = run_table1_campaign(runner)
+    return rows
+
+
+def explore(*, space: Optional[DesignSpace] = None,
+            max_area: Optional[float] = None,
+            max_power: Optional[float] = None,
+            jobs: int = 1,
+            entries: int = 100,
+            packets: int = 12,
+            journal: Optional[str] = None,
+            resume: bool = False,
+            cycle_budget: Optional[int] = None,
+            hazards: bool = False) -> ExplorationOutcome:
+    """Run the heuristic design-space explorer.
+
+    With ``jobs > 1`` the explorer expands each search frontier (all
+    restart points, all neighbours of the current best) concurrently
+    over a process pool.
+    """
+    constraints = DesignConstraints(max_area_mm2=max_area,
+                                    max_power_w=max_power)
+    factory = _evaluator_factory(entries, packets, hazards)
+    if jobs > 1 or journal is not None or resume or cycle_budget:
+        evaluator = _runner(factory, jobs=jobs, journal=journal,
+                            resume=resume, cycle_budget=cycle_budget)
+    else:
+        evaluator = factory()
+    explorer = GreedyExplorer(evaluator, constraints)
+    return explorer.explore(space or DesignSpace())
+
+
+def run_chaos(*, topology: str = "line",
+              routers: int = 5,
+              seed: int = 0,
+              drop: float = 0.0,
+              corrupt: float = 0.0,
+              duplicate: float = 0.0,
+              reorder: float = 0.0,
+              latency_steps: int = 0,
+              jitter_steps: int = 0,
+              flaps: Optional[FlapSchedule] = None,
+              chaos_seconds: float = 300.0) -> ResilienceReport:
+    """Run one seeded fault-injection scenario and report resilience.
+
+    Same seed, same report, bit for bit, on any machine.
+    """
+    if topology == "line":
+        network = line_topology(routers)
+    elif topology == "ring":
+        network = ring_topology(routers)
+    else:
+        raise ValueError(f"unknown topology {topology!r}; "
+                         f"choose 'line' or 'ring'")
+    scenario = ChaosScenario.uniform(
+        network, seed=seed, drop=drop, corrupt=corrupt,
+        duplicate=duplicate, reorder=reorder,
+        latency_steps=latency_steps, jitter_steps=jitter_steps,
+        flaps=flaps if flaps is not None and len(flaps) else None,
+        chaos_seconds=chaos_seconds)
+    return scenario.run()

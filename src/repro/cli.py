@@ -9,24 +9,30 @@ Subcommands:
 * ``chaos`` — run a seeded fault-injection scenario and report resilience.
 
 ``table1`` and ``explore`` run as crash-safe campaigns when given
-``--journal`` (resume with ``--resume``); ``--hazards`` attaches the TTA
-hazard detector to every simulation.
+``--journal`` (resume with ``--resume``) and fan out over a process pool
+with ``--jobs N`` (parallel output is byte-identical to sequential);
+``--hazards`` attaches the TTA hazard detector to every simulation.
+``--output PATH`` writes the subcommand's result as JSON (the uniform
+``to_dict()`` document) atomically to PATH.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from functools import partial
 from typing import Optional, Sequence
 
 from repro.dse import (
     ArchitectureConfiguration,
+    ArchitectureEvaluator,
     CampaignPolicy,
     CampaignRunner,
     DesignConstraints,
     DesignSpace,
-    Evaluator,
     GreedyExplorer,
+    ParallelCampaignRunner,
     generate_table1,
     render_table1,
     run_table1_campaign,
@@ -34,6 +40,7 @@ from repro.dse import (
     write_atomic,
 )
 from repro.dse.evaluator import DEFAULT_EVALUATION_MAX_CYCLES
+from repro.dse.table1 import table1_to_dict
 from repro.ipv6.address import Ipv6Prefix
 from repro.router.network import line_topology, ring_topology
 
@@ -73,8 +80,7 @@ def _build_parser() -> argparse.ArgumentParser:
     table1.add_argument("--packets", type=int, default=12,
                         help="measurement batch size (default 12)")
     _add_campaign_arguments(table1)
-    table1.add_argument("--output", default=None, metavar="PATH",
-                        help="also write the table atomically to PATH")
+    _add_output_argument(table1)
 
     ev = sub.add_parser("evaluate", help="evaluate one configuration")
     ev.add_argument("--buses", type=int, default=1)
@@ -85,6 +91,7 @@ def _build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--entries", type=int, default=100)
     ev.add_argument("--hazards", action="store_true",
                     help="attach the hazard detector and print its report")
+    _add_output_argument(ev)
 
     ex = sub.add_parser("explore", help="heuristic design-space exploration")
     ex.add_argument("--max-power", type=float, default=None,
@@ -92,10 +99,12 @@ def _build_parser() -> argparse.ArgumentParser:
     ex.add_argument("--max-area", type=float, default=None,
                     help="area budget in mm^2")
     _add_campaign_arguments(ex)
+    _add_output_argument(ex)
 
     rip = sub.add_parser("ripng", help="RIPng convergence simulation")
     rip.add_argument("--topology", choices=("line", "ring"), default="line")
     rip.add_argument("--routers", type=int, default=4)
+    _add_output_argument(rip)
 
     chaos = sub.add_parser(
         "chaos", help="seeded fault-injection / resilience scenario")
@@ -121,6 +130,7 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--flap", action="append", default=[],
                        metavar="ROUTER:IFACE:DOWN:UP",
                        help="flap a link, e.g. r1:1:60:320 (repeatable)")
+    _add_output_argument(chaos)
 
     desc = sub.add_parser(
         "describe", help="emit an instance's top-level description")
@@ -134,6 +144,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="fan the sweep out over N worker processes "
+                             "(default 1 = sequential; output is "
+                             "byte-identical either way)")
     parser.add_argument("--journal", default=None, metavar="PATH",
                         help="crash-safe JSONL journal of every evaluation")
     parser.add_argument("--resume", action="store_true",
@@ -147,26 +161,53 @@ def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
                              "simulation and report aggregated counts")
 
 
-def _make_campaign_runner(evaluator: Evaluator,
-                          args: argparse.Namespace) -> CampaignRunner:
-    return CampaignRunner(
-        evaluator, journal_path=args.journal, resume=args.resume,
-        policy=CampaignPolicy(cycle_budget=args.cycle_budget))
+def _add_output_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="write the result as JSON (to_dict()) "
+                             "atomically to PATH")
+
+
+def _write_json(path: str, payload: dict) -> None:
+    write_atomic(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def _evaluator_factory(args: argparse.Namespace):
+    """Picklable evaluator spec shared by the parent and pool workers."""
+    return partial(ArchitectureEvaluator,
+                   table_entries=args.entries,
+                   packet_batch=getattr(args, "packets", 12),
+                   detect_hazards=args.hazards)
+
+
+def _make_campaign_runner(factory, args: argparse.Namespace
+                          ) -> CampaignRunner:
+    policy = CampaignPolicy(cycle_budget=args.cycle_budget)
+    if args.jobs > 1:
+        return ParallelCampaignRunner(
+            factory, jobs=args.jobs, journal_path=args.journal,
+            resume=args.resume, policy=policy)
+    return CampaignRunner(factory(), journal_path=args.journal,
+                          resume=args.resume, policy=policy)
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
-    evaluator = Evaluator(table_entries=args.entries,
-                          packet_batch=args.packets,
-                          detect_hazards=args.hazards)
-    if args.journal:
-        runner = _make_campaign_runner(evaluator, args)
+    factory = _evaluator_factory(args)
+    campaign = None
+    runner = None
+    if args.journal or args.jobs > 1:
+        runner = _make_campaign_runner(factory, args)
         rows, campaign = run_table1_campaign(runner)
-        text = render_table1(rows)
+    else:
+        rows = generate_table1(factory())
+    text = render_table1(rows)
+    if campaign is not None:
         for failure in campaign.failures:
             text += f"\nquarantined: {failure.render()}"
-        print(text)
-        if args.output:
-            write_atomic(args.output, text + "\n")
+    print(text)
+    violations = shape_checks(rows) if len(rows) == 9 else []
+    if args.output:
+        _write_json(args.output, table1_to_dict(rows, violations))
+    if campaign is not None:
         if args.hazards:
             from repro.reporting import render_hazard_summary
             print(render_hazard_summary(runner.hazard_counts()))
@@ -175,15 +216,6 @@ def _cmd_table1(args: argparse.Namespace) -> int:
                   f"from {args.journal})", file=sys.stderr)
         if campaign.failures:
             return 3
-        rows_for_checks = rows
-    else:
-        rows_for_checks = generate_table1(evaluator)
-        text = render_table1(rows_for_checks)
-        print(text)
-        if args.output:
-            write_atomic(args.output, text + "\n")
-    violations = shape_checks(rows_for_checks) \
-        if len(rows_for_checks) == 9 else []
     if violations:
         print("\nshape violations:")
         for violation in violations:
@@ -198,10 +230,12 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         bus_count=args.buses, matchers=args.fu_sets,
         counters=args.fu_sets, comparators=args.fu_sets,
         table_kind=args.table)
-    evaluator = Evaluator(table_entries=args.entries,
-                          detect_hazards=args.hazards)
+    evaluator = ArchitectureEvaluator(table_entries=args.entries,
+                                      detect_hazards=args.hazards)
     result = evaluator.evaluate(config)
     print(result.summary())
+    if args.output:
+        _write_json(args.output, result.to_dict())
     if args.hazards and result.run is not None \
             and result.run.hazard_report is not None:
         print(result.run.hazard_report.render())
@@ -213,14 +247,17 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 
     constraints = DesignConstraints(max_area_mm2=args.max_area,
                                     max_power_w=args.max_power)
-    evaluator = Evaluator(detect_hazards=args.hazards)
+    args.entries = getattr(args, "entries", 100)
+    factory = _evaluator_factory(args)
     runner = None
-    if args.journal:
-        runner = _make_campaign_runner(evaluator, args)
-    explorer = GreedyExplorer(runner if runner is not None else evaluator,
+    if args.journal or args.jobs > 1:
+        runner = _make_campaign_runner(factory, args)
+    explorer = GreedyExplorer(runner if runner is not None else factory(),
                               constraints)
     outcome = explorer.explore(DesignSpace())
     print(f"evaluations used: {outcome.evaluations_used}")
+    if args.output:
+        _write_json(args.output, outcome.to_dict())
     if runner is not None and runner.resumed:
         print(f"(resumed {runner.resumed} evaluation(s) "
               f"from {args.journal})", file=sys.stderr)
@@ -247,6 +284,15 @@ def _cmd_ripng(args: argparse.Namespace) -> int:
     print(f"{args.topology} of {args.routers}: converged={report.converged} "
           f"in {report.rounds} rounds, "
           f"{report.messages_delivered} datagrams exchanged")
+    if args.output:
+        _write_json(args.output, {
+            "topology": args.topology,
+            "routers": args.routers,
+            "converged": report.converged,
+            "rounds": report.rounds,
+            "messages_delivered": report.messages_delivered,
+            "time_elapsed": report.time_elapsed,
+        })
     probe = Ipv6Prefix.parse("2001:db8:0:1::/64")
     for name in network.routers:
         print(f"  {name}: metric to {probe} = "
@@ -292,6 +338,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         return 2
     print(f"{args.topology} of {args.routers}, seed {args.seed}:")
     print(report.summary())
+    if args.output:
+        _write_json(args.output, report.to_dict())
     return 0 if report.converged and report.all_tables_agree else 1
 
 

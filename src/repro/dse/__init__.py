@@ -6,6 +6,10 @@ from repro.dse.campaign import (
     CampaignRunner,
     EvaluationFailure,
     PoisonedEvaluator,
+    config_from_dict,
+    config_key,
+    config_to_dict,
+    evaluate_guarded,
     load_journal,
     run_table1_campaign,
     write_atomic,
@@ -15,13 +19,23 @@ from repro.dse.config import (
     PAPER_CONFIGURATIONS,
     paper_configurations,
 )
-from repro.dse.evaluator import EvaluationResult, Evaluator
+from repro.dse.evaluator import (
+    ArchitectureEvaluator,
+    EvaluationResult,
+    Evaluator,
+)
 from repro.dse.explorer import (
     ExhaustiveExplorer,
     ExplorationOutcome,
     GreedyExplorer,
 )
+from repro.dse.parallel import ParallelCampaignRunner
 from repro.dse.pareto import DesignConstraints, pareto_front, select_best
+from repro.dse.protocols import (
+    BatchEvaluator,
+    supports_batching,
+)
+from repro.dse.protocols import Evaluator as EvaluatorProtocol
 from repro.dse.space import DesignSpace, paper_space
 from repro.dse.table1 import (
     PAPER_TABLE1,
@@ -35,10 +49,13 @@ __all__ = [
     "CampaignPolicy", "CampaignResult", "CampaignRunner",
     "EvaluationFailure", "PoisonedEvaluator", "load_journal",
     "run_table1_campaign", "write_atomic",
+    "config_from_dict", "config_key", "config_to_dict", "evaluate_guarded",
     "ArchitectureConfiguration", "PAPER_CONFIGURATIONS",
     "paper_configurations",
-    "EvaluationResult", "Evaluator",
+    "ArchitectureEvaluator", "EvaluationResult", "Evaluator",
+    "EvaluatorProtocol", "BatchEvaluator", "supports_batching",
     "ExhaustiveExplorer", "ExplorationOutcome", "GreedyExplorer",
+    "ParallelCampaignRunner",
     "DesignConstraints", "pareto_front", "select_best",
     "DesignSpace", "paper_space",
     "PAPER_TABLE1", "Table1Row", "generate_table1", "render_table1",

@@ -47,9 +47,10 @@ from repro.dse.config import (
 )
 from repro.dse.evaluator import (
     DEFAULT_EVALUATION_MAX_CYCLES,
+    ArchitectureEvaluator,
     EvaluationResult,
-    Evaluator,
 )
+from repro.dse.protocols import Evaluator
 from repro.dse.table1 import PAPER_TABLE1, Table1Row
 from repro.errors import (
     CampaignError,
@@ -172,6 +173,9 @@ class EvaluationFailure:
             parts.append(f"{len(self.mismatches)} mismatch(es)")
         return "; ".join(parts)
 
+    def to_dict(self) -> Dict[str, object]:
+        return failure_to_record(self)
+
 
 @dataclass
 class CampaignResult:
@@ -222,6 +226,16 @@ class CampaignResult:
                   f"{len(self.quarantined)} quarantined")
         return table + "\n" + footer
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view: journal records in input order plus totals."""
+        return {
+            "records": list(self.records),
+            "evaluated": len(self.results),
+            "quarantined": [config_to_dict(c) for c in self.quarantined],
+            "resumed": self.resumed,
+            "discarded_records": self.discarded_records,
+        }
+
     def write_output(self, path: str) -> None:
         write_atomic(path, self.render() + "\n")
 
@@ -242,7 +256,8 @@ def result_to_record(result: EvaluationResult,
         "bus_utilization": result.bus_utilization,
         "required_clock_hz": result.required_clock_hz,
         "feasible": result.feasible,
-        "program_store_kbyte": Evaluator._program_store_kbyte(result.run),
+        "program_store_kbyte":
+            ArchitectureEvaluator._program_store_kbyte(result.run),
     }
     if result.run is not None and result.run.hazard_report is not None:
         record["hazards"] = result.run.hazard_report.by_kind()
@@ -320,6 +335,49 @@ class CampaignPolicy:
     max_retries: int = 1
 
 
+def evaluate_guarded(evaluator: Evaluator,
+                     config: ArchitectureConfiguration,
+                     policy: CampaignPolicy) -> Dict[str, object]:
+    """One evaluation under the campaign deadline/retry policy.
+
+    Returns the journal record (``status`` ``ok`` or ``failed``) and never
+    raises for the failure classes a campaign contains
+    (:class:`~repro.errors.ReproError`). This is the unit of work shared
+    by the sequential :class:`CampaignRunner` and the process-pool workers
+    of :class:`~repro.dse.parallel.ParallelCampaignRunner` — each worker
+    enforces the cycle budget locally, exactly like the sequential path.
+    """
+    budget = policy.cycle_budget
+    retries = 0
+    while True:
+        try:
+            result = evaluator.evaluate(config, max_cycles=budget)
+        except CycleBudgetError as exc:
+            if retries < policy.max_retries:
+                retries += 1
+                budget *= policy.retry_budget_factor
+                continue
+            failure = EvaluationFailure(
+                config=config, error=type(exc).__name__,
+                message=str(exc), retries=retries, cycle_budget=budget,
+                cycles_executed=exc.cycles, pc=exc.pc,
+                loop=exc.loop.render() if exc.loop else None)
+            return failure_to_record(failure)
+        except ReproError as exc:
+            # Deterministic failure classes (functional mismatch,
+            # structural/configuration errors): no retry can help.
+            run = getattr(exc, "run", None)
+            failure = EvaluationFailure(
+                config=config, error=type(exc).__name__,
+                message=str(exc), retries=retries,
+                cycles_executed=(run.report.cycles
+                                 if run is not None else None),
+                mismatches=tuple(run.mismatches)
+                if run is not None else ())
+            return failure_to_record(failure)
+        return result_to_record(result, config)
+
+
 class CampaignRunner:
     """Journal-backed, fault-isolating wrapper around an evaluator.
 
@@ -363,17 +421,20 @@ class CampaignRunner:
 
     # -- evaluator-compatible surface ---------------------------------------------
 
-    def evaluate(self, config: ArchitectureConfiguration) -> EvaluationResult:
+    def evaluate(self, config: ArchitectureConfiguration, *,
+                 max_cycles: Optional[int] = None) -> EvaluationResult:
         """Journal-aware, fault-isolated evaluation of one configuration.
 
         Raises :class:`EvaluationFailureError` (carrying the structured
         failure) instead of the evaluator's raw errors; the failure is
         already recorded and quarantined by the time it is raised.
+        *max_cycles* overrides the policy's cycle budget for this call.
         """
         key = config_key(config)
         record = self._records.get(key)
         if record is None:
-            record = self._evaluate_fresh(config, key)
+            record = self._evaluate_fresh(config, key,
+                                          max_cycles=max_cycles)
         elif key in self._replayed_keys:
             self._replayed_keys.discard(key)
             self.resumed += 1
@@ -381,6 +442,17 @@ class CampaignRunner:
             return result_from_record(record)
         raise EvaluationFailureError(record["message"],
                                      failure=failure_from_record(record))
+
+    def evaluate_batch(self, configs: Sequence[ArchitectureConfiguration]
+                       ) -> List[Optional[EvaluationResult]]:
+        """Aligned results for *configs*; ``None`` marks a failure."""
+        self.run(configs)
+        out: List[Optional[EvaluationResult]] = []
+        for config in configs:
+            record = self._records[config_key(config)]
+            out.append(result_from_record(record)
+                       if record["status"] == "ok" else None)
+        return out
 
     # -- sweep driver -------------------------------------------------------------
 
@@ -417,36 +489,13 @@ class CampaignRunner:
     # -- internals ----------------------------------------------------------------
 
     def _evaluate_fresh(self, config: ArchitectureConfiguration,
-                        key: str) -> Dict[str, object]:
-        budget = self.policy.cycle_budget
-        retries = 0
-        while True:
-            try:
-                result = self.evaluator.evaluate(config, max_cycles=budget)
-            except CycleBudgetError as exc:
-                if retries < self.policy.max_retries:
-                    retries += 1
-                    budget *= self.policy.retry_budget_factor
-                    continue
-                failure = EvaluationFailure(
-                    config=config, error=type(exc).__name__,
-                    message=str(exc), retries=retries, cycle_budget=budget,
-                    cycles_executed=exc.cycles, pc=exc.pc,
-                    loop=exc.loop.render() if exc.loop else None)
-                return self._persist(key, failure_to_record(failure))
-            except ReproError as exc:
-                # Deterministic failure classes (functional mismatch,
-                # structural/configuration errors): no retry can help.
-                run = getattr(exc, "run", None)
-                failure = EvaluationFailure(
-                    config=config, error=type(exc).__name__,
-                    message=str(exc), retries=retries,
-                    cycles_executed=(run.report.cycles
-                                     if run is not None else None),
-                    mismatches=tuple(run.mismatches)
-                    if run is not None else ())
-                return self._persist(key, failure_to_record(failure))
-            return self._persist(key, result_to_record(result, config))
+                        key: str,
+                        max_cycles: Optional[int] = None
+                        ) -> Dict[str, object]:
+        policy = self.policy if max_cycles is None else \
+            dataclasses.replace(self.policy, cycle_budget=max_cycles)
+        record = evaluate_guarded(self.evaluator, config, policy)
+        return self._persist(key, record)
 
     def _persist(self, key: str,
                  record: Dict[str, object]) -> Dict[str, object]:
@@ -483,7 +532,17 @@ class PoisonedEvaluator:
         return self.evaluator.evaluate(config, max_cycles=max_cycles)
 
     def __getattr__(self, name):
-        return getattr(self.evaluator, name)
+        # Never forward dunder lookups: pickle/copy probe for protocol
+        # hooks (__getstate__, __setstate__, __reduce_ex__, ...) before
+        # the instance __dict__ is populated, and forwarding them through
+        # ``self.evaluator`` would recurse into __getattr__ forever —
+        # which is fatal for wrappers shipped to a process pool.
+        if name.startswith("__") and name.endswith("__"):
+            raise AttributeError(name)
+        evaluator = self.__dict__.get("evaluator")
+        if evaluator is None:
+            raise AttributeError(name)
+        return getattr(evaluator, name)
 
 
 # -- Table 1 over a campaign -------------------------------------------------------

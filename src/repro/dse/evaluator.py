@@ -14,6 +14,7 @@ a handful of rounds because latency enters cycles additively).
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
@@ -81,8 +82,26 @@ class EvaluationResult:
                 f"({self.cycles_per_packet:.0f} cyc/pkt, "
                 f"bus {self.bus_utilization * 100:.0f}%), {area}, {power}")
 
+    def render(self) -> str:
+        return self.summary()
 
-class Evaluator:
+    def to_dict(self) -> dict:
+        """JSON-ready scalar view (the common ``render``/``to_dict`` pair)."""
+        return {
+            "config": dataclasses.asdict(self.config),
+            "label": self.config.label(),
+            "table_kind": self.config.table_kind,
+            "cycles_per_packet": self.cycles_per_packet,
+            "bus_utilization": self.bus_utilization,
+            "required_clock_hz": self.required_clock_hz,
+            "feasible": self.feasible,
+            "area_mm2": self.area_mm2,
+            "power_w": self.power_w,
+            "system_power_w": self.system_power_w,
+        }
+
+
+class ArchitectureEvaluator:
     """Evaluates configurations against one workload + constraint."""
 
     def __init__(self, routes: Optional[Sequence[RouteEntry]] = None,
@@ -180,3 +199,8 @@ class Evaluator:
             latency = next_latency
         assert run is not None
         return run, config.with_cam_latency(latency)
+
+
+#: Backwards-compatible name — the concrete class predates the formal
+#: :class:`repro.dse.protocols.Evaluator` protocol it now satisfies.
+Evaluator = ArchitectureEvaluator

@@ -18,12 +18,14 @@ a fraction of the evaluations on the paper's space.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.dse.config import ArchitectureConfiguration
-from repro.dse.evaluator import EvaluationResult, Evaluator
+from repro.dse.evaluator import EvaluationResult
 from repro.dse.pareto import DesignConstraints, select_best
+from repro.dse.protocols import Evaluator, supports_batching
 from repro.dse.space import DesignSpace
 from repro.errors import SimulationError
 
@@ -36,6 +38,25 @@ class ExplorationOutcome:
     #: configurations whose evaluation failed and were skipped by the
     #: search instead of aborting it
     failed: List[ArchitectureConfiguration] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [f"evaluations used: {self.evaluations_used}"]
+        for config in self.failed:
+            lines.append(f"quarantined: {config.describe()}")
+        if self.best is None:
+            lines.append("no configuration satisfies the constraints")
+        else:
+            lines.append(f"selected: {self.best.summary()}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "best": self.best.to_dict() if self.best is not None else None,
+            "evaluations_used": self.evaluations_used,
+            "evaluated": [result.to_dict() for result in self.evaluated],
+            "failed": [dataclasses.asdict(config)
+                       for config in self.failed],
+        }
 
 
 def _score(result: EvaluationResult,
@@ -56,11 +77,29 @@ class ExhaustiveExplorer:
         self.constraints = constraints or DesignConstraints()
 
     def explore(self, space: DesignSpace) -> ExplorationOutcome:
-        results = self.evaluator.evaluate_all(space.configurations())
+        configs = space.configurations()
+        results: List[EvaluationResult] = []
+        failed: List[ArchitectureConfiguration] = []
+        if supports_batching(self.evaluator):
+            # one call for the whole space: a pool-backed evaluator
+            # (ParallelCampaignRunner) sweeps it concurrently
+            for config, result in zip(
+                    configs, self.evaluator.evaluate_batch(configs)):
+                if result is None:
+                    failed.append(config)
+                else:
+                    results.append(result)
+        else:
+            for config in configs:
+                try:
+                    results.append(self.evaluator.evaluate(config))
+                except SimulationError:
+                    failed.append(config)
         return ExplorationOutcome(
             best=select_best(results, self.constraints),
             evaluated=results,
-            evaluations_used=len(results))
+            evaluations_used=len(configs),
+            failed=failed)
 
 
 class GreedyExplorer:
@@ -79,13 +118,16 @@ class GreedyExplorer:
 
     def explore(self, space: DesignSpace) -> ExplorationOutcome:
         best: Optional[EvaluationResult] = None
-        for kind in space.table_kinds:
-            start = ArchitectureConfiguration(
-                bus_count=min(space.bus_counts),
-                matchers=min(space.fu_set_counts),
-                counters=min(space.fu_set_counts),
-                comparators=min(space.fu_set_counts),
-                table_kind=kind)
+        starts = [ArchitectureConfiguration(
+            bus_count=min(space.bus_counts),
+            matchers=min(space.fu_set_counts),
+            counters=min(space.fu_set_counts),
+            comparators=min(space.fu_set_counts),
+            table_kind=kind) for kind in space.table_kinds]
+        # frontier expansion: a batch-capable evaluator (process pool)
+        # takes all restart points in one concurrent call
+        self._prefetch(starts)
+        for start in starts:
             candidate = self._climb(start, space)
             if candidate is None:
                 continue
@@ -105,6 +147,26 @@ class GreedyExplorer:
     @staticmethod
     def _key(config: ArchitectureConfiguration) -> ArchitectureConfiguration:
         return config.with_cam_latency(1)
+
+    def _prefetch(self, configs: Sequence[ArchitectureConfiguration]) -> None:
+        """Evaluate every uncached configuration in one batch call.
+
+        A no-op unless the evaluator supports batching, in which case a
+        whole search frontier (all restart points, all neighbours of the
+        current best) is evaluated concurrently instead of one at a time.
+        """
+        if not supports_batching(self.evaluator):
+            return
+        missing = []
+        for config in configs:
+            key = self._key(config)
+            if key not in self._cache and key not in missing:
+                missing.append(key)
+        if not missing:
+            return
+        for key, result in zip(missing,
+                               self.evaluator.evaluate_batch(missing)):
+            self._cache[key] = result  # None marks a contained failure
 
     def _evaluate(self, config: ArchitectureConfiguration
                   ) -> Optional[EvaluationResult]:
@@ -142,9 +204,10 @@ class GreedyExplorer:
         if current is None:
             return None
         while True:
+            neighbours = self._neighbours(current.config, space)
+            self._prefetch(neighbours)  # all moves evaluated concurrently
             moves = [m for m in
-                     (self._evaluate(n)
-                      for n in self._neighbours(current.config, space))
+                     (self._evaluate(n) for n in neighbours)
                      if m is not None]
             if not moves:
                 return current

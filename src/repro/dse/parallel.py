@@ -1,0 +1,294 @@
+"""Parallel design-space campaigns over a multiprocessing pool.
+
+The paper's point is *fast* evaluation of protocol-processor design
+spaces, and a sweep is embarrassingly parallel: every simulate+estimate
+turn is independent of every other. :class:`ParallelCampaignRunner` fans
+a sweep out over a process pool while keeping every guarantee of the
+sequential :class:`~repro.dse.campaign.CampaignRunner` it extends:
+
+* **one evaluator per worker** — the pool initializer builds the
+  evaluator (workload, routes, golden router) once per process, so the
+  per-configuration cost is simulation, not setup;
+* **cheap transport** — configurations travel to workers as the existing
+  :func:`~repro.dse.campaign.config_to_dict` payloads and results come
+  back as journal records; area/power are reconstructed in the parent
+  through the same pure estimation functions, so a parallel sweep is
+  bit-for-bit identical to a sequential one;
+* **chunked dispatch** — work is handed out in chunks to amortise IPC,
+  with a bounded in-flight window so a pool crash only voids the work
+  actually running;
+* **per-worker cycle-budget enforcement** — each worker runs the same
+  :func:`~repro.dse.campaign.evaluate_guarded` deadline/retry loop the
+  sequential runner uses;
+* **crashed workers are survivable** — if a worker process dies (signal,
+  ``os._exit``, OOM kill), the pool is torn down, the configurations
+  that were in flight are re-probed one at a time in a fresh
+  single-worker pool, and any configuration that kills its prober is
+  quarantined as an :class:`~repro.dse.campaign.EvaluationFailure` with
+  error :class:`~repro.errors.WorkerCrashError`; everything else
+  continues in a refilled pool;
+* **deterministic output** — results are re-ordered to input order, so a
+  parallel Table 1 renders byte-identically to the sequential one;
+* **journal + resume keep working** — journal writes stay in the parent
+  (fsync'd, append-only, exactly as before), and ``resume=True`` skips
+  every already-journalled configuration *before* anything is
+  dispatched to the pool.
+
+With ``jobs=1`` no pool is created and the behaviour is exactly the
+sequential runner's.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, wait
+from concurrent.futures.process import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dse.campaign import (
+    CampaignPolicy,
+    CampaignResult,
+    CampaignRunner,
+    EvaluationFailure,
+    config_key,
+    config_to_dict,
+    evaluate_guarded,
+    failure_from_record,
+    failure_to_record,
+    result_from_record,
+)
+from repro.dse.config import ArchitectureConfiguration
+from repro.dse.evaluator import EvaluationResult
+from repro.errors import CampaignError, WorkerCrashError
+
+#: work item: (journal key, configuration) — the key is precomputed in
+#: the parent so workers never need to agree on canonicalisation
+_Item = Tuple[str, ArchitectureConfiguration]
+
+_worker_evaluator = None
+_worker_policy = None
+
+
+def _init_worker(factory, policy: CampaignPolicy) -> None:
+    """Pool initializer: build the evaluator once per worker process."""
+    global _worker_evaluator, _worker_policy
+    _worker_evaluator = factory()
+    _worker_policy = policy
+
+
+def _evaluate_chunk(payloads: List[Dict[str, object]]
+                    ) -> List[Dict[str, object]]:
+    """Evaluate a chunk of config payloads; returns journal records.
+
+    Runs in a worker. Every contained failure class is already folded
+    into a ``failed`` record by :func:`evaluate_guarded`, so a returned
+    list is always aligned with the input chunk.
+    """
+    records = []
+    for payload in payloads:
+        config = ArchitectureConfiguration(**payload)
+        records.append(evaluate_guarded(_worker_evaluator, config,
+                                        _worker_policy))
+    return records
+
+
+def default_start_method() -> str:
+    """``fork`` where available (cheap, inherits the imported package);
+    otherwise the platform default."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else methods[0]
+
+
+class ParallelCampaignRunner(CampaignRunner):
+    """A :class:`CampaignRunner` whose sweeps fan out over a process pool.
+
+    Takes an *evaluator factory* rather than an evaluator so each worker
+    (and the parent, for single ``evaluate`` calls) can build its own
+    instance; the factory must be picklable — a top-level callable or a
+    ``functools.partial`` over one.
+
+    Satisfies both the :class:`~repro.dse.protocols.Evaluator` and
+    :class:`~repro.dse.protocols.BatchEvaluator` protocols, so explorers
+    running on top of it expand whole search frontiers concurrently.
+    """
+
+    def __init__(self, evaluator_factory,
+                 jobs: int = 2,
+                 journal_path: Optional[str] = None,
+                 resume: bool = False,
+                 policy: Optional[CampaignPolicy] = None,
+                 chunk_size: Optional[int] = None,
+                 start_method: Optional[str] = None):
+        if jobs < 1:
+            raise CampaignError(f"jobs must be >= 1, got {jobs}")
+        if chunk_size is not None and chunk_size < 1:
+            raise CampaignError(
+                f"chunk_size must be >= 1, got {chunk_size}")
+        if not callable(evaluator_factory):
+            raise CampaignError(
+                "evaluator_factory must be a callable returning an "
+                "evaluator (it is invoked once per worker process)")
+        super().__init__(evaluator_factory(), journal_path=journal_path,
+                         resume=resume, policy=policy)
+        self.evaluator_factory = evaluator_factory
+        self.jobs = jobs
+        self.chunk_size = chunk_size
+        self.start_method = start_method or default_start_method()
+        #: worker deaths observed (pool teardowns), for reporting
+        self.worker_crashes = 0
+
+    # -- sweep driver -------------------------------------------------------------
+
+    def run(self, configs: Sequence[ArchitectureConfiguration]
+            ) -> CampaignResult:
+        """Sweep *configs*; results come back in input order regardless
+        of completion order, so the rendered artifact is byte-identical
+        to a sequential run's."""
+        pending: List[_Item] = []
+        dispatched = set()
+        for config in configs:
+            key = config_key(config)
+            if key in self._records:
+                if key in self._replayed_keys:
+                    self._replayed_keys.discard(key)
+                    self.resumed += 1
+            elif key not in dispatched:
+                dispatched.add(key)
+                pending.append((key, config))
+        if pending and self.jobs > 1:
+            self._run_pool(pending)
+        for key, config in pending:
+            # jobs == 1, or stragglers a dying pool never reached
+            if key not in self._records:
+                self._evaluate_fresh(config, key)
+
+        ordered: List[Dict[str, object]] = []
+        results: List[EvaluationResult] = []
+        failures: List[EvaluationFailure] = []
+        for config in configs:
+            record = self._records[config_key(config)]
+            ordered.append(record)
+            if record["status"] == "ok":
+                results.append(result_from_record(record))
+            else:
+                failures.append(failure_from_record(record))
+        return CampaignResult(records=ordered, results=results,
+                              failures=failures, resumed=self.resumed,
+                              discarded_records=self.discarded_records)
+
+    # -- pool orchestration -------------------------------------------------------
+
+    def _run_pool(self, pending: List[_Item]) -> None:
+        """Drive *pending* to completion across pool generations.
+
+        Each generation either finishes cleanly or dies with a bounded
+        set of in-flight suspects; suspects are resolved one by one in
+        single-worker pools (crash -> quarantine, success -> record), so
+        every generation makes strict progress and a deterministic
+        crasher cannot deadlock or starve the sweep.
+        """
+        while pending:
+            suspects = self._dispatch(pending)
+            for key, config in suspects:
+                self._probe(key, config)
+            pending = [(key, config) for key, config in pending
+                       if key not in self._records]
+
+    def _dispatch(self, pending: List[_Item]) -> List[_Item]:
+        """One pool generation. Persists every completed record; returns
+        the items that were in flight when the pool broke ([] = clean)."""
+        chunks = self._chunked(pending)
+        in_flight: Dict[object, List[_Item]] = {}
+        suspects: List[_Item] = []
+        pool = ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(chunks)),
+            mp_context=multiprocessing.get_context(self.start_method),
+            initializer=_init_worker,
+            initargs=(self.evaluator_factory, self.policy))
+        try:
+            broken = False
+            while (chunks or in_flight) and not broken:
+                # bounded window: at most one queued chunk per worker, so
+                # a pool death voids little and suspects stay few
+                while chunks and len(in_flight) < 2 * self.jobs:
+                    chunk = chunks.pop(0)
+                    try:
+                        future = pool.submit(_evaluate_chunk, [
+                            config_to_dict(config) for _, config in chunk])
+                    except BrokenExecutor:
+                        broken = True
+                        suspects.extend(chunk)
+                        break
+                    in_flight[future] = chunk
+                if not in_flight:
+                    break
+                done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+                # persist clean completions first: a future that finished
+                # before the pool died still carries a usable result
+                for future in done:
+                    if future.exception() is None:
+                        chunk = in_flight.pop(future)
+                        for (key, _), record in zip(chunk, future.result()):
+                            self._persist(key, record)
+                for future in done:
+                    if future not in in_flight:
+                        continue
+                    chunk = in_flight.pop(future)
+                    exc = future.exception()
+                    if isinstance(exc, BrokenExecutor):
+                        broken = True
+                        suspects.extend(chunk)
+                    else:
+                        # an exception escaped the worker's guarded loop
+                        # (not a ReproError): contain it per config
+                        for key, config in chunk:
+                            self._persist(key, failure_to_record(
+                                EvaluationFailure(
+                                    config=config,
+                                    error=type(exc).__name__,
+                                    message=str(exc))))
+            if broken:
+                self.worker_crashes += 1
+                for chunk in in_flight.values():
+                    suspects.extend(chunk)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return suspects
+
+    def _probe(self, key: str, config: ArchitectureConfiguration) -> None:
+        """Re-run one crash suspect alone in a fresh single-worker pool.
+
+        A clean result clears the suspect; a second death convicts it and
+        it is quarantined as a :class:`WorkerCrashError` failure.
+        """
+        pool = ProcessPoolExecutor(
+            max_workers=1,
+            mp_context=multiprocessing.get_context(self.start_method),
+            initializer=_init_worker,
+            initargs=(self.evaluator_factory, self.policy))
+        try:
+            future = pool.submit(_evaluate_chunk, [config_to_dict(config)])
+            try:
+                [record] = future.result()
+            except BrokenExecutor as exc:
+                self.worker_crashes += 1
+                record = failure_to_record(EvaluationFailure(
+                    config=config, error=WorkerCrashError.__name__,
+                    message=(f"worker process died evaluating "
+                             f"{config.describe()}: {exc}")))
+            except Exception as exc:
+                record = failure_to_record(EvaluationFailure(
+                    config=config, error=type(exc).__name__,
+                    message=str(exc)))
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        self._persist(key, record)
+
+    def _chunked(self, pending: Sequence[_Item]) -> List[List[_Item]]:
+        size = self.chunk_size
+        if size is None:
+            # aim for ~4 chunks per worker: coarse enough to amortise
+            # IPC, fine enough to keep the pool busy to the end
+            size = max(1, len(pending) // (self.jobs * 4))
+        return [list(pending[i:i + size])
+                for i in range(0, len(pending), size)]

@@ -63,6 +63,25 @@ class Table1Row:
     def clock_ratio_vs_paper(self) -> float:
         return self.measured.required_clock_hz / self.paper.required_clock_hz
 
+    def to_dict(self) -> Dict[str, object]:
+        from dataclasses import asdict
+        return {
+            "paper": asdict(self.paper),
+            "measured": self.measured.to_dict(),
+            "clock_ratio_vs_paper": self.clock_ratio_vs_paper,
+        }
+
+
+def table1_to_dict(rows: Sequence["Table1Row"],
+                   violations: Optional[Sequence[str]] = None
+                   ) -> Dict[str, object]:
+    """JSON-ready document for a generated Table 1."""
+    payload: Dict[str, object] = {
+        "rows": [row.to_dict() for row in rows]}
+    if violations is not None:
+        payload["shape_violations"] = list(violations)
+    return payload
+
 
 def generate_table1(evaluator: Optional[Evaluator] = None,
                     kinds: Sequence[str] = TABLE_KINDS) -> List[Table1Row]:

@@ -95,6 +95,12 @@ class CampaignError(ReproError):
     """A design-space campaign is misconfigured or its journal is invalid."""
 
 
+class WorkerCrashError(CampaignError):
+    """A pool worker process died (signal, ``os._exit``, OOM kill...)
+    while evaluating a configuration. Parallel campaigns quarantine the
+    configuration and refill the pool instead of aborting the sweep."""
+
+
 class EvaluationFailureError(SimulationError):
     """A campaign evaluation failed; ``failure`` holds the structured
     :class:`repro.dse.campaign.EvaluationFailure` record."""

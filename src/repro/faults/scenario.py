@@ -93,6 +93,45 @@ class ResilienceReport:
             lines.append(self.diagnosis.summary())
         return "\n".join(lines)
 
+    def render(self) -> str:
+        return self.summary()
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view (the common ``render``/``to_dict`` pair)."""
+        def convergence(report: Optional[ConvergenceReport]):
+            if report is None:
+                return None
+            return {"converged": report.converged,
+                    "rounds": report.rounds,
+                    "messages_delivered": report.messages_delivered,
+                    "time_elapsed": report.time_elapsed}
+
+        return {
+            "converged": self.converged,
+            "baseline": convergence(self.baseline),
+            "recovery": convergence(self.recovery),
+            "chaos_rounds": self.chaos_rounds,
+            "total_rounds": self.total_rounds,
+            "messages_delivered": self.messages_delivered,
+            "time_to_reconverge": self.time_to_reconverge,
+            "worst_route_staleness": self.worst_route_staleness,
+            "frames": {
+                "injected": self.frames.injected,
+                "dropped": self.frames.dropped,
+                "corrupted": self.frames.corrupted,
+                "duplicated": self.frames.duplicated,
+                "reordered": self.frames.reordered,
+                "delayed": self.frames.delayed,
+            },
+            "frames_lost_link_down": self.frames_lost_link_down,
+            "link_flaps_applied": self.link_flaps_applied,
+            "router_drops": dict(self.router_drops),
+            "peak_queue_depth": self.peak_queue_depth,
+            "prefixes_checked": self.prefixes_checked,
+            "prefixes_disagreeing": list(self.prefixes_disagreeing),
+            "all_tables_agree": self.all_tables_agree,
+        }
+
 
 class _StalenessTracker:
     """Longest interval any router lacked a finite route to an
