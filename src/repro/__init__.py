@@ -29,6 +29,9 @@ from repro.api import (
     Table1Row,
     evaluate,
     explore,
+    metrics,
+    metrics_registry,
+    render_metrics,
     render_table1,
     run_chaos,
     table1,
@@ -37,6 +40,7 @@ from repro.api import (
 __all__ = [
     "api",
     "evaluate", "table1", "explore", "run_chaos", "render_table1",
+    "metrics", "metrics_registry", "render_metrics",
     "ArchitectureConfiguration", "EvaluationResult", "ExplorationOutcome",
     "ResilienceReport", "Table1Row",
     "ReproError", "__version__",

@@ -50,6 +50,7 @@ from repro.dse.space import DesignSpace
 from repro.dse.table1 import Table1Row, generate_table1, render_table1
 from repro.faults.flaps import FlapSchedule
 from repro.faults.scenario import ChaosScenario, ResilienceReport
+from repro.obs import MetricsRegistry, get_registry, render_snapshot
 from repro.router.network import line_topology, ring_topology
 
 __all__ = [
@@ -57,6 +58,9 @@ __all__ = [
     "table1",
     "explore",
     "run_chaos",
+    "metrics",
+    "metrics_registry",
+    "render_metrics",
     "render_table1",
     "ArchitectureConfiguration",
     "DesignConstraints",
@@ -189,3 +193,31 @@ def run_chaos(*, topology: str = "line",
         flaps=flaps if flaps is not None and len(flaps) else None,
         chaos_seconds=chaos_seconds)
     return scenario.run()
+
+
+def metrics(*, reset: bool = False) -> dict:
+    """Snapshot of the process-wide metrics registry (JSON-ready).
+
+    Every facade call above publishes into the same registry
+    (:mod:`repro.obs`): simulation throughput, per-evaluation latency,
+    routing-table activity, network convergence, pool utilisation.
+    ``reset=True`` clears recorded values after snapshotting, so a
+    caller can attribute metrics to one workload at a time. Disable the
+    layer entirely with ``REPRO_NO_METRICS=1`` or
+    ``metrics_registry().disable()``.
+    """
+    snapshot = get_registry().snapshot()
+    if reset:
+        get_registry().reset()
+    return snapshot
+
+
+def metrics_registry() -> MetricsRegistry:
+    """The live process-wide registry (enable/disable/reset/instrument)."""
+    return get_registry()
+
+
+def render_metrics(snapshot: Optional[dict] = None) -> str:
+    """Fixed-width table for a metrics snapshot (default: the live one)."""
+    return render_snapshot(snapshot if snapshot is not None
+                           else get_registry().snapshot())

@@ -6,14 +6,19 @@ Subcommands:
 * ``evaluate`` — evaluate one configuration;
 * ``explore`` — run the heuristic design-space explorer (future-work tool);
 * ``ripng`` — simulate RIPng convergence on a line/ring topology;
-* ``chaos`` — run a seeded fault-injection scenario and report resilience.
+* ``chaos`` — run a seeded fault-injection scenario and report resilience;
+* ``metrics`` — render a metrics snapshot (live, or the ``metrics``
+  section of a saved ``--output`` JSON) as a table.
 
 ``table1`` and ``explore`` run as crash-safe campaigns when given
 ``--journal`` (resume with ``--resume``) and fan out over a process pool
 with ``--jobs N`` (parallel output is byte-identical to sequential);
 ``--hazards`` attaches the TTA hazard detector to every simulation.
 ``--output PATH`` writes the subcommand's result as JSON (the uniform
-``to_dict()`` document) atomically to PATH.
+``to_dict()`` document) atomically to PATH; every such document carries a
+``metrics`` section (the process-wide :mod:`repro.obs` snapshot — disable
+with ``REPRO_NO_METRICS=1``). Metrics never change what is printed or
+measured: stdout is byte-identical with metrics on or off.
 """
 
 from __future__ import annotations
@@ -42,6 +47,7 @@ from repro.dse import (
 from repro.dse.evaluator import DEFAULT_EVALUATION_MAX_CYCLES
 from repro.dse.table1 import table1_to_dict
 from repro.ipv6.address import Ipv6Prefix
+from repro.obs import get_registry, render_snapshot
 from repro.router.network import line_topology, ring_topology
 
 
@@ -64,6 +70,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_chaos(args)
     if args.command == "describe":
         return _cmd_describe(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
     parser.print_help()
     return 2
 
@@ -140,6 +148,15 @@ def _build_parser() -> argparse.ArgumentParser:
                       choices=("sequential", "balanced-tree", "cam"))
     desc.add_argument("--format", dest="fmt", default="text",
                       choices=("text", "dot"))
+
+    metrics = sub.add_parser(
+        "metrics", help="render a metrics snapshot as a table")
+    metrics.add_argument("--input", default=None, metavar="PATH",
+                         help="read the snapshot from a saved --output "
+                              "JSON (its 'metrics' section) instead of "
+                              "the live registry")
+    metrics.add_argument("--format", dest="fmt", default="text",
+                         choices=("text", "json"))
     return parser
 
 
@@ -168,7 +185,35 @@ def _add_output_argument(parser: argparse.ArgumentParser) -> None:
 
 
 def _write_json(path: str, payload: dict) -> None:
+    """Write a result document, attaching the process metrics snapshot.
+
+    Metrics ride the transport layer rather than the result objects so
+    the results themselves stay deterministic (parallel == sequential,
+    resume byte-identical); only the serialised document gains the
+    observability section.
+    """
+    if "metrics" not in payload:
+        payload = dict(payload)
+        payload["metrics"] = get_registry().snapshot()
     write_atomic(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    if args.input:
+        with open(args.input, encoding="utf-8") as handle:
+            document = json.load(handle)
+        snapshot = document.get("metrics", document)
+        if not isinstance(snapshot, dict) or "counters" not in snapshot:
+            print(f"{args.input}: no metrics section found",
+                  file=sys.stderr)
+            return 2
+    else:
+        snapshot = get_registry().snapshot()
+    if args.fmt == "json":
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        print(render_snapshot(snapshot))
+    return 0
 
 
 def _evaluator_factory(args: argparse.Namespace):

@@ -60,6 +60,7 @@ from repro.errors import (
 )
 from repro.estimation.area import estimate_area
 from repro.estimation.power import estimate_power
+from repro.obs import get_registry
 
 JOURNAL_VERSION = 1
 
@@ -117,31 +118,47 @@ def _record_line(record: Dict[str, object]) -> str:
 
 
 def load_journal(path: str) -> Tuple[List[Dict[str, object]], int]:
-    """Parse a journal, tolerating a crash-torn tail.
+    """Parse a journal, tolerating a crash-torn *tail* record only.
 
-    Returns ``(records, discarded)`` where *discarded* counts lines that
-    failed to parse (typically one: the record being written when the
-    process died). Discarded configurations are simply re-evaluated.
+    Returns ``(records, discarded)``. A crash while appending can tear at
+    most the final line, so an unparseable or incomplete **last** line is
+    an expected artifact: it is counted in *discarded* (and the
+    configuration simply re-evaluated). An invalid line anywhere
+    **before** the last one cannot be produced by a crash — it means the
+    journal itself is damaged (truncated editor save, disk corruption,
+    concurrent writer) and silently re-evaluating would mask data loss,
+    so it raises :class:`~repro.errors.CampaignError` naming the bad
+    line numbers.
     """
     records: List[Dict[str, object]] = []
-    discarded = 0
+    bad_lines: List[Tuple[int, str]] = []
+    last_content_line = 0
     with open(path, encoding="utf-8") as handle:
         raw = handle.read()
-    for line in raw.splitlines():
+    for number, line in enumerate(raw.splitlines(), start=1):
         line = line.strip()
         if not line:
             continue
+        last_content_line = number
         try:
             record = json.loads(line)
         except ValueError:
-            discarded += 1
+            bad_lines.append((number, "unparseable JSON"))
             continue
         if not isinstance(record, dict) or record.get("v") != JOURNAL_VERSION \
                 or "key" not in record or "status" not in record:
-            discarded += 1
+            bad_lines.append((number, "not a journal record"))
             continue
         records.append(record)
-    return records, discarded
+    mid_file = [(n, why) for n, why in bad_lines if n != last_content_line]
+    if mid_file:
+        where = ", ".join(f"line {n}: {why}" for n, why in mid_file)
+        raise CampaignError(
+            f"journal {path!r} is damaged mid-file ({where}); a crash can "
+            f"only tear the final record, so this is journal corruption, "
+            f"not a crash artifact — repair or remove the journal before "
+            f"resuming")
+    return records, len(bad_lines)
 
 
 # -- structured outcomes -----------------------------------------------------------
@@ -438,6 +455,11 @@ class CampaignRunner:
         elif key in self._replayed_keys:
             self._replayed_keys.discard(key)
             self.resumed += 1
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter(
+                    "dse_resumed_total",
+                    "evaluations replayed from a journal").inc()
         if record["status"] == "ok":
             return result_from_record(record)
         raise EvaluationFailureError(record["message"],
@@ -494,18 +516,50 @@ class CampaignRunner:
                         ) -> Dict[str, object]:
         policy = self.policy if max_cycles is None else \
             dataclasses.replace(self.policy, cycle_budget=max_cycles)
+        registry = get_registry()
+        t0 = registry.time() if registry.enabled else 0.0
         record = evaluate_guarded(self.evaluator, config, policy)
+        if registry.enabled:
+            registry.histogram(
+                "dse_evaluation_seconds",
+                "wall-clock latency per in-process evaluation",
+                ("status",)
+            ).observe(registry.time() - t0, status=record["status"])
         return self._persist(key, record)
 
     def _persist(self, key: str,
                  record: Dict[str, object]) -> Dict[str, object]:
         self._records[key] = record
+        self._publish_record_metrics(record)
         if self.journal_path is not None:
             with open(self.journal_path, "a", encoding="utf-8") as handle:
                 handle.write(_record_line(record) + "\n")
                 handle.flush()
                 os.fsync(handle.fileno())
         return record
+
+    @staticmethod
+    def _publish_record_metrics(record: Dict[str, object]) -> None:
+        """Status/retry/quarantine counters for one fresh record; shared
+        by the sequential path and the parallel runner's pool results."""
+        registry = get_registry()
+        if not registry.enabled:
+            return
+        status = record["status"]
+        registry.counter(
+            "dse_evaluations_total",
+            "campaign evaluations by outcome", ("status",)
+        ).inc(status=status)
+        retries = record.get("retries", 0)
+        if retries:
+            registry.counter(
+                "dse_retries_total",
+                "cycle-budget retries across all evaluations").inc(retries)
+        if status == "failed" and record.get("quarantined", True):
+            registry.counter(
+                "dse_quarantined_total",
+                "configurations quarantined after contained failures"
+            ).inc()
 
 
 class PoisonedEvaluator:

@@ -60,6 +60,7 @@ from repro.dse.campaign import (
 from repro.dse.config import ArchitectureConfiguration
 from repro.dse.evaluator import EvaluationResult
 from repro.errors import CampaignError, WorkerCrashError
+from repro.obs import get_registry
 
 #: work item: (journal key, configuration) — the key is precomputed in
 #: the parent so workers never need to agree on canonicalisation
@@ -136,6 +137,9 @@ class ParallelCampaignRunner(CampaignRunner):
         self.start_method = start_method or default_start_method()
         #: worker deaths observed (pool teardowns), for reporting
         self.worker_crashes = 0
+        # cumulative worker-busy seconds (sum of chunk latencies), the
+        # numerator of the pool-utilisation gauge published per sweep
+        self._busy_seconds = 0.0
 
     # -- sweep driver -------------------------------------------------------------
 
@@ -144,6 +148,9 @@ class ParallelCampaignRunner(CampaignRunner):
         """Sweep *configs*; results come back in input order regardless
         of completion order, so the rendered artifact is byte-identical
         to a sequential run's."""
+        registry = get_registry()
+        t0 = registry.time() if registry.enabled else 0.0
+        self._busy_seconds = 0.0
         pending: List[_Item] = []
         dispatched = set()
         for config in configs:
@@ -152,11 +159,23 @@ class ParallelCampaignRunner(CampaignRunner):
                 if key in self._replayed_keys:
                     self._replayed_keys.discard(key)
                     self.resumed += 1
+                    if registry.enabled:
+                        registry.counter(
+                            "dse_resumed_total",
+                            "evaluations replayed from a journal").inc()
             elif key not in dispatched:
                 dispatched.add(key)
                 pending.append((key, config))
         if pending and self.jobs > 1:
             self._run_pool(pending)
+            if registry.enabled:
+                wall = registry.time() - t0
+                if wall > 0:
+                    registry.gauge(
+                        "dse_worker_utilization",
+                        "fraction of pool worker-seconds spent evaluating "
+                        "during the most recent sweep"
+                    ).set(min(self._busy_seconds / (wall * self.jobs), 1.0))
         for key, config in pending:
             # jobs == 1, or stragglers a dying pool never reached
             if key not in self._records:
@@ -197,8 +216,18 @@ class ParallelCampaignRunner(CampaignRunner):
     def _dispatch(self, pending: List[_Item]) -> List[_Item]:
         """One pool generation. Persists every completed record; returns
         the items that were in flight when the pool broke ([] = clean)."""
+        registry = get_registry()
+        chunk_seconds = registry.histogram(
+            "dse_chunk_seconds",
+            "wall-clock latency per dispatched pool chunk"
+        ) if registry.enabled else None
+        queue_depth = registry.gauge(
+            "dse_inflight_chunks",
+            "chunks dispatched to the pool and not yet completed"
+        ) if registry.enabled else None
         chunks = self._chunked(pending)
         in_flight: Dict[object, List[_Item]] = {}
+        submitted_at: Dict[object, float] = {}
         suspects: List[_Item] = []
         pool = ProcessPoolExecutor(
             max_workers=min(self.jobs, len(chunks)),
@@ -220,6 +249,13 @@ class ParallelCampaignRunner(CampaignRunner):
                         suspects.extend(chunk)
                         break
                     in_flight[future] = chunk
+                    if registry.enabled:
+                        submitted_at[future] = registry.time()
+                        registry.counter(
+                            "dse_chunks_dispatched_total",
+                            "chunks handed to the process pool").inc()
+                if queue_depth is not None:
+                    queue_depth.set(len(in_flight))
                 if not in_flight:
                     break
                 done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
@@ -228,12 +264,16 @@ class ParallelCampaignRunner(CampaignRunner):
                 for future in done:
                     if future.exception() is None:
                         chunk = in_flight.pop(future)
+                        self._observe_chunk(future, submitted_at,
+                                            chunk_seconds, registry)
                         for (key, _), record in zip(chunk, future.result()):
                             self._persist(key, record)
                 for future in done:
                     if future not in in_flight:
                         continue
                     chunk = in_flight.pop(future)
+                    self._observe_chunk(future, submitted_at,
+                                        chunk_seconds, registry)
                     exc = future.exception()
                     if isinstance(exc, BrokenExecutor):
                         broken = True
@@ -249,11 +289,26 @@ class ParallelCampaignRunner(CampaignRunner):
                                     message=str(exc))))
             if broken:
                 self.worker_crashes += 1
+                if registry.enabled:
+                    registry.counter(
+                        "dse_worker_crashes_total",
+                        "pool teardowns after a worker process died").inc()
                 for chunk in in_flight.values():
                     suspects.extend(chunk)
         finally:
+            if queue_depth is not None:
+                queue_depth.set(0)
             pool.shutdown(wait=False, cancel_futures=True)
         return suspects
+
+    def _observe_chunk(self, future, submitted_at, chunk_seconds,
+                       registry) -> None:
+        t0 = submitted_at.pop(future, None)
+        if t0 is None or chunk_seconds is None:
+            return
+        elapsed = registry.time() - t0
+        self._busy_seconds += elapsed
+        chunk_seconds.observe(elapsed)
 
     def _probe(self, key: str, config: ArchitectureConfiguration) -> None:
         """Re-run one crash suspect alone in a fresh single-worker pool.
@@ -272,6 +327,11 @@ class ParallelCampaignRunner(CampaignRunner):
                 [record] = future.result()
             except BrokenExecutor as exc:
                 self.worker_crashes += 1
+                registry = get_registry()
+                if registry.enabled:
+                    registry.counter(
+                        "dse_worker_crashes_total",
+                        "pool teardowns after a worker process died").inc()
                 record = failure_to_record(EvaluationFailure(
                     config=config, error=WorkerCrashError.__name__,
                     message=(f"worker process died evaluating "

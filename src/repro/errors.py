@@ -91,6 +91,12 @@ class CycleBudgetError(SimulationError):
         self.loop = loop
 
 
+class ObservabilityError(ReproError):
+    """A metrics instrument was misused (label/kind mismatch, negative
+    counter increment...). Raised at the call site: instrument misuse is
+    a programming error, never a runtime condition to tolerate."""
+
+
 class CampaignError(ReproError):
     """A design-space campaign is misconfigured or its journal is invalid."""
 

@@ -1,0 +1,127 @@
+"""Structured event/span tracing with an injectable clock.
+
+Where :mod:`repro.obs.metrics` aggregates (how many, how long on
+average), the tracer keeps *individual* records: a bounded log of spans
+(named wall-clock intervals with attached fields) and point events. The
+clock is injected (``time_fn``) so deterministic tests stay
+deterministic — a test passes a fake counter and asserts exact
+durations.
+
+A tracer bound to a disabled :class:`~repro.obs.metrics.MetricsRegistry`
+records nothing and never reads the clock.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.obs.metrics import Histogram, MetricsRegistry, get_registry
+
+
+@dataclass
+class Span:
+    """One named wall-clock interval with attached fields."""
+
+    name: str
+    start: float
+    end: Optional[float] = None
+    fields: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "start": self.start, "end": self.end,
+                "duration": self.duration, "fields": dict(self.fields)}
+
+
+@dataclass
+class Event:
+    """One named point-in-time record."""
+
+    name: str
+    at: float
+    fields: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "at": self.at,
+                "fields": dict(self.fields)}
+
+
+class Tracer:
+    """Bounded span/event log sharing the registry's enablement/clock."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 time_fn: Optional[Callable[[], float]] = None,
+                 max_records: int = 4096):
+        self._registry = registry
+        self._time_fn = time_fn
+        self.max_records = max_records
+        self.spans: List[Span] = []
+        self.events: List[Event] = []
+        #: spans/events not recorded because the log was full
+        self.dropped = 0
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None \
+            else get_registry()
+
+    @property
+    def enabled(self) -> bool:
+        return self.registry.enabled
+
+    def _now(self) -> float:
+        if self._time_fn is not None:
+            return self._time_fn()
+        return self.registry.time()
+
+    @contextmanager
+    def span(self, name: str,
+             histogram: Optional[Histogram] = None,
+             **fields: object) -> Iterator[Span]:
+        """Record a wall-clock interval around the ``with`` body.
+
+        When a *histogram* is supplied, the duration is also observed
+        into it (unlabelled) on exit.
+        """
+        if not self.enabled:
+            yield Span(name=name, start=0.0, end=0.0, fields=dict(fields))
+            return
+        span = Span(name=name, start=self._now(), fields=dict(fields))
+        try:
+            yield span
+        finally:
+            span.end = self._now()
+            self._append(self.spans, span)
+            if histogram is not None:
+                histogram.observe(span.duration)
+
+    def event(self, name: str, **fields: object) -> Optional[Event]:
+        """Record a point event; returns it (None when disabled)."""
+        if not self.enabled:
+            return None
+        record = Event(name=name, at=self._now(), fields=dict(fields))
+        self._append(self.events, record)
+        return record
+
+    def _append(self, log: List, record) -> None:
+        if len(log) >= self.max_records:
+            self.dropped += 1
+            return
+        log.append(record)
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.events.clear()
+        self.dropped = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"spans": [s.to_dict() for s in self.spans],
+                "events": [e.to_dict() for e in self.events],
+                "dropped": self.dropped}

@@ -19,9 +19,19 @@ from repro.tta.stats import SimulationReport
 def module_utilization(report: SimulationReport,
                        processor: Optional[TacoProcessor] = None
                        ) -> List[Tuple[str, float]]:
-    """(fu name, triggers per cycle), busiest first; NC excluded."""
+    """(fu name, triggers per cycle), busiest first; NC excluded.
+
+    When *processor* is supplied, every one of its FUs gets a row — a
+    never-triggered unit shows up at 0.0 instead of silently vanishing
+    from the table (an idle unit is exactly the designer's signal for
+    removing it, so it must be visible). Names present only in the
+    report are still restricted to the processor's units, as before.
+    """
+    names = set(report.fu_triggers)
+    if processor is not None:
+        names.update(processor.fus)
     rows: List[Tuple[str, float]] = []
-    for name in sorted(report.fu_triggers):
+    for name in sorted(names):
         if name == "nc":
             continue
         if processor is not None and name not in processor.fus:

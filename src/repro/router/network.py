@@ -26,6 +26,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, ReproError
 from repro.ipv6.address import Ipv6Address, Ipv6Prefix
+from repro.obs import get_registry
 from repro.router.router import Ipv6Router
 
 Endpoint = Tuple[str, int]  # (router name, interface index)
@@ -73,6 +74,9 @@ class Network:
         # frames delayed by a fault model: (deliver_at, seq, endpoint, raw)
         self._in_flight: List[Tuple[float, int, Endpoint, bytes]] = []
         self._flight_seq = 0
+        # last-published fault-model statistics per link, so step() can
+        # publish per-link injected/dropped/corrupted deltas as counters
+        self._fault_stats_seen: Dict[int, Dict[str, int]] = {}
 
     # -- construction -----------------------------------------------------------------
 
@@ -142,9 +146,57 @@ class Network:
             router.tick(self.now)
         self.now += self.step_seconds
         self.messages_delivered += delivered
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "net_rounds_total", "simulation rounds stepped").inc()
+            registry.counter(
+                "net_frames_delivered_total",
+                "frames delivered across all links").inc(delivered)
+            registry.gauge(
+                "net_frames_in_flight",
+                "fault-model-delayed frames awaiting delivery"
+            ).set(len(self._in_flight))
+            self._publish_link_metrics(registry)
         return delivered
 
+    @staticmethod
+    def _link_label(link: Link) -> str:
+        return (f"{link.a[0]}:{link.a[1]}<->{link.b[0]}:{link.b[1]}")
+
+    def _publish_link_metrics(self, registry) -> None:
+        """Publish per-link fault-model statistics as counter deltas."""
+        frames = registry.counter(
+            "net_link_frames_total",
+            "frames entering each link's fault model", ("link",))
+        faults = registry.counter(
+            "net_link_faults_total",
+            "fault-model interventions per link", ("link", "fault"))
+        for link in self.links:
+            model = link.fault_model
+            if model is None or not hasattr(model, "stats"):
+                continue
+            label = self._link_label(link)
+            seen = self._fault_stats_seen.setdefault(id(link), {})
+            stats = model.stats
+            for name in ("injected", "dropped", "corrupted", "duplicated",
+                         "reordered", "delayed"):
+                value = getattr(stats, name, 0)
+                delta = value - seen.get(name, 0)
+                if delta <= 0:
+                    continue
+                seen[name] = value
+                if name == "injected":
+                    frames.inc(delta, link=label)
+                else:
+                    faults.inc(delta, link=label, fault=name)
+
     def _deliver_transmissions(self) -> int:
+        registry = get_registry()
+        drops = registry.counter(
+            "net_link_dropped_total",
+            "frames lost because the link was down",
+            ("link",)) if registry.enabled else None
         delivered = self._release_in_flight()
         for name, router in self.routers.items():
             for card in router.line_cards:
@@ -157,6 +209,9 @@ class Network:
                     continue  # unconnected: frames vanish silently
                 if not link.up:
                     self.frames_lost_link_down += len(outgoing)
+                    if drops is not None:
+                        drops.inc(len(outgoing),
+                                  link=self._link_label(link))
                     continue
                 peer_endpoint = link.peer((name, card.index))
                 model = link.fault_model
@@ -182,12 +237,18 @@ class Network:
     def _release_in_flight(self) -> int:
         """Deliver delayed frames whose time has come; drop those whose
         link went down while they were in flight."""
+        registry = get_registry()
         released = 0
         while self._in_flight and self._in_flight[0][0] <= self.now:
             _, _, endpoint, frame = heapq.heappop(self._in_flight)
             link = self._by_endpoint.get(endpoint)
             if link is None or not link.up:
                 self.frames_lost_link_down += 1
+                if registry.enabled and link is not None:
+                    registry.counter(
+                        "net_link_dropped_total",
+                        "frames lost because the link was down", ("link",)
+                    ).inc(link=self._link_label(link))
                 continue
             self._deliver_raw(endpoint, frame)
             released += 1
@@ -229,11 +290,14 @@ class Network:
                 f"ever reached quiet_rounds, so convergence could never be "
                 f"detected; lower quiet_rounds/step_seconds or raise the "
                 f"update interval")
+        registry = get_registry()
+        t0 = registry.time() if registry.enabled else 0.0
         quiet = 0
         for round_index in itertools.count():
             if round_index >= max_rounds:
                 diagnosis = watchdog.diagnose() if watchdog is not None \
                     else None
+                self._publish_convergence(registry, t0, False, round_index)
                 return ConvergenceReport(False, round_index,
                                          self.messages_delivered, self.now,
                                          diagnosis=diagnosis)
@@ -245,9 +309,27 @@ class Network:
             quiet = quiet + 1 if delivered == 0 and not self._in_flight \
                 else 0
             if quiet >= quiet_rounds:
+                self._publish_convergence(registry, t0, True,
+                                          round_index + 1)
                 return ConvergenceReport(True, round_index + 1,
                                          self.messages_delivered, self.now)
         raise AssertionError("unreachable")
+
+    def _publish_convergence(self, registry, t0: float, converged: bool,
+                             rounds: int) -> None:
+        if not registry.enabled:
+            return
+        registry.gauge(
+            "net_convergence_rounds",
+            "rounds the most recent convergence run took").set(rounds)
+        registry.counter(
+            "net_convergence_runs_total",
+            "run_until_converged outcomes", ("converged",)
+        ).inc(converged=str(converged).lower())
+        registry.histogram(
+            "net_convergence_seconds",
+            "wall-clock time per run_until_converged call"
+        ).observe(registry.time() - t0)
 
     # -- inspection -------------------------------------------------------------------
 

@@ -14,6 +14,7 @@ from typing import Iterator, List, Optional
 
 from repro.errors import RoutingTableError
 from repro.ipv6.address import Ipv6Address, Ipv6Prefix
+from repro.obs import get_registry
 from repro.routing.entry import LookupResult, RouteEntry
 
 DEFAULT_CAPACITY = 100
@@ -101,18 +102,44 @@ class RoutingTable(ABC):
                 f"routing table full ({self._capacity} entries)")
         steps = self._insert(entry)
         self.stats.record_update(steps, insert=True)
+        self._publish_update(steps, op="insert")
 
     def remove(self, prefix: Ipv6Prefix) -> None:
         steps = self._remove(prefix)
         self.stats.record_update(steps, insert=False)
+        self._publish_update(steps, op="remove")
 
     def lookup(self, address: Ipv6Address) -> Optional[LookupResult]:
         """Longest-prefix match for *address*; None when no route exists."""
         entry, steps = self._lookup(address)
         self.stats.record_lookup(steps, hit=entry is not None)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "routing_lookups_total",
+                "longest-prefix-match lookups", ("kind", "outcome")
+            ).inc(kind=self.kind,
+                  outcome="hit" if entry is not None else "miss")
+            registry.counter(
+                "routing_lookup_steps_total",
+                "elements examined across lookups "
+                "(steps/lookups = comparisons per lookup)", ("kind",)
+            ).inc(steps, kind=self.kind)
         if entry is None:
             return None
         return LookupResult(entry=entry, steps=steps)
+
+    def _publish_update(self, steps: int, op: str) -> None:
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "routing_updates_total",
+                "route insertions and removals", ("kind", "op")
+            ).inc(kind=self.kind, op=op)
+            registry.counter(
+                "routing_update_steps_total",
+                "elements touched by table updates", ("kind",)
+            ).inc(steps, kind=self.kind)
 
     def entries(self) -> List[RouteEntry]:
         return list(self)

@@ -22,6 +22,7 @@ from typing import Iterator, List, Optional, Tuple
 
 from repro.errors import RoutingTableError
 from repro.ipv6.address import Ipv6Address, Ipv6Prefix
+from repro.obs import get_registry
 from repro.routing.base import DEFAULT_CAPACITY, RoutingTable
 from repro.routing.entry import RouteEntry
 
@@ -84,6 +85,10 @@ class CamRoutingTable(RoutingTable):
         super().__init__(capacity)
         self.physical = physical or CamPhysicalModel()
         self._lines: List[_CamLine] = []
+        # CAM occupancy per search at the part's reference clock, cached
+        # so the lookup path publishes busy cycles without recomputing
+        self._search_busy_cycles = self.physical.search_cycles(
+            self.physical.reference_clock_mhz * 1e6)
 
     def _insert(self, entry: RouteEntry) -> int:
         prefix = entry.prefix
@@ -113,6 +118,13 @@ class CamRoutingTable(RoutingTable):
     def _lookup(self, address: Ipv6Address) -> Tuple[Optional[RouteEntry], int]:
         # Hardware matches all lines in parallel; the model's "steps" is 1
         # regardless of occupancy — the defining property of the CAM row.
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "routing_cam_busy_cycles_total",
+                "CAM cycles occupied by searches (40 ns per search at "
+                "the part's reference clock)"
+            ).inc(self._search_busy_cycles)
         value = address.value
         for line in self._lines:
             if (value & line.mask) == line.value:

@@ -25,6 +25,7 @@ from collections import deque
 from typing import Deque, List, Optional, Tuple
 
 from repro.errors import CycleBudgetError, SimulationError
+from repro.obs import get_registry
 from repro.tta.hazards import PC_WINDOW, loop_signature
 from repro.tta.instruction import Move
 from repro.tta.memory import ProgramMemory
@@ -57,18 +58,62 @@ class Simulator:
 
     def run(self, max_cycles: int = DEFAULT_MAX_CYCLES) -> SimulationReport:
         """Run until the program halts; raises if *max_cycles* is exceeded."""
-        while not self.processor.nc.halted:
-            if self.cycle >= max_cycles:
-                pc = self.processor.nc.pc
-                signature = loop_signature(self.pc_history)
-                detail = f"; {signature.render()}" if signature else ""
-                raise CycleBudgetError(
-                    f"program did not halt within {max_cycles} cycles "
-                    f"(pc={pc}){detail}",
-                    cycles=max_cycles, pc=pc, loop=signature)
-            self.step()
+        registry = get_registry()
+        start = (registry.time(), self.cycle, self.report.moves_executed,
+                 dict(self.report.hazards)) if registry.enabled else None
+        try:
+            while not self.processor.nc.halted:
+                if self.cycle >= max_cycles:
+                    pc = self.processor.nc.pc
+                    signature = loop_signature(self.pc_history)
+                    detail = f"; {signature.render()}" if signature else ""
+                    raise CycleBudgetError(
+                        f"program did not halt within {max_cycles} cycles "
+                        f"(pc={pc}){detail}",
+                        cycles=max_cycles, pc=pc, loop=signature)
+                self.step()
+        finally:
+            # Publish even on a budget raise: the cycles were executed.
+            if start is not None:
+                self._publish_run_metrics(registry, *start)
         self.report.halted = True
         return self.report
+
+    def _publish_run_metrics(self, registry, t0: float, start_cycles: int,
+                             start_moves: int, start_hazards) -> None:
+        """Aggregate counters for one run, observed at the boundary so
+        the per-cycle loop carries zero instrumentation cost."""
+        elapsed = registry.time() - t0
+        cycles = self.cycle - start_cycles
+        moves = self.report.moves_executed - start_moves
+        registry.counter(
+            "tta_runs_total", "completed Simulator.run calls").inc()
+        registry.counter(
+            "tta_cycles_total", "simulated clock cycles").inc(cycles)
+        registry.counter(
+            "tta_moves_total", "executed transports (moves)").inc(moves)
+        registry.histogram(
+            "tta_run_seconds", "wall-clock time per Simulator.run"
+        ).observe(elapsed)
+        if elapsed > 0:
+            registry.gauge(
+                "tta_cycles_per_second",
+                "simulation speed of the most recent run"
+            ).set(cycles / elapsed)
+            registry.gauge(
+                "tta_moves_per_second",
+                "transport throughput of the most recent run"
+            ).set(moves / elapsed)
+        hazard_counter = None
+        for kind, count in self.report.hazards.items():
+            delta = count - start_hazards.get(kind, 0)
+            if delta <= 0:
+                continue
+            if hazard_counter is None:
+                hazard_counter = registry.counter(
+                    "tta_hazards_total",
+                    "hazards detected during simulation", ("kind",))
+            hazard_counter.inc(delta, kind=kind)
 
     def run_cycles(self, count: int) -> SimulationReport:
         """Run exactly *count* cycles (or fewer if the program halts)."""

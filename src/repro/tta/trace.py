@@ -51,21 +51,40 @@ class TracingSimulator(Simulator):
         super().__init__(processor, program, strict=strict)
         self.trace: List[TraceCycle] = []
         self.max_trace_cycles = max_trace_cycles
+        #: True once any cycle fell past ``max_trace_cycles`` — a partial
+        #: trace must never be mistakable for a complete one
+        self.truncated = False
+        #: distinct cycles whose moves were not recorded
+        self.dropped_cycles = 0
+        self._last_dropped_cycle: Optional[int] = None
         self.move_hook = self._record
 
     def _record(self, cycle: int, pc: int, bus: int, move: Move,
                 value: Optional[int]) -> None:
         if self.trace and self.trace[-1].cycle == cycle:
+            # A cycle that started recording keeps every one of its
+            # moves, even if the limit was reached mid-cycle: truncation
+            # happens only on whole-cycle boundaries.
             record = self.trace[-1]
         else:
             if len(self.trace) >= self.max_trace_cycles:
+                self.truncated = True
+                if self._last_dropped_cycle != cycle:
+                    self._last_dropped_cycle = cycle
+                    self.dropped_cycles += 1
                 return
             record = TraceCycle(cycle=cycle, pc=pc)
             self.trace.append(record)
         record.moves.append(TracedMove(bus=bus, move=move, value=value))
 
     def render(self, first: int = 0, last: Optional[int] = None) -> str:
-        return "\n".join(c.render() for c in self.trace[first:last])
+        lines = [c.render() for c in self.trace[first:last]]
+        if self.truncated and (last is None or last >= len(self.trace)):
+            lines.append(
+                f"... trace truncated: {self.dropped_cycles} later "
+                f"cycle(s) not recorded "
+                f"(max_trace_cycles={self.max_trace_cycles})")
+        return "\n".join(lines)
 
     def moves_of(self, fu_name: str) -> List[Tuple[int, TracedMove]]:
         """All traced moves touching one FU (for focused debugging)."""

@@ -128,15 +128,38 @@ class TestJournal:
         assert statuses.count("ok") == 11
         assert statuses.count("failed") == 1
 
-    def test_load_journal_tolerates_garbage(self, tmp_path):
+    def test_load_journal_tolerates_torn_tail(self, tmp_path):
+        # only the final line can be torn by a crash: it is discarded
         path = tmp_path / "journal.jsonl"
         path.write_text('{"v":1,"key":"a","status":"ok"}\n'
-                        'not json at all\n'
-                        '{"v":99,"key":"b","status":"ok"}\n'
+                        '{"v":1,"key":"b","status"')
+        records, discarded = load_journal(str(path))
+        assert len(records) == 1
+        assert discarded == 1
+
+    def test_load_journal_tolerates_invalid_final_record(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text('{"v":1,"key":"a","status":"ok"}\n'
                         '{"missing":"fields"}\n')
         records, discarded = load_journal(str(path))
         assert len(records) == 1
-        assert discarded == 3
+        assert discarded == 1
+
+    @pytest.mark.parametrize("bad_line", [
+        "not json at all",
+        '{"v":99,"key":"b","status":"ok"}',  # wrong journal version
+        '{"missing":"fields"}',
+    ])
+    def test_load_journal_raises_on_mid_file_damage(self, tmp_path,
+                                                    bad_line):
+        # a bad line *before* the tail is journal damage, not a crash
+        # artifact: silently re-evaluating would mask data loss
+        path = tmp_path / "journal.jsonl"
+        path.write_text('{"v":1,"key":"a","status":"ok"}\n'
+                        f'{bad_line}\n'
+                        '{"v":1,"key":"c","status":"ok"}\n')
+        with pytest.raises(CampaignError, match="line 2"):
+            load_journal(str(path))
 
     def test_existing_journal_refused_without_resume(self, tmp_path, sweep):
         path = tmp_path / "journal.jsonl"
