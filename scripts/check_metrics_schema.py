@@ -69,6 +69,24 @@ def _validate(instance, schema, root, path="$"):
     return errors
 
 
+def _check_outcome_labels(metrics: dict, schema: dict) -> list:
+    """Domain check the structural pass cannot express: every ``outcome``
+    label on the ``sdc_outcomes_total`` counter must be one of the
+    oracle classifications enumerated in ``definitions.sdc_outcome``."""
+    allowed = set(schema["definitions"]["sdc_outcome"]["enum"])
+    counter = metrics.get("counters", {}).get("sdc_outcomes_total")
+    if not isinstance(counter, dict):
+        return []
+    errors = []
+    for i, entry in enumerate(counter.get("values", [])):
+        outcome = entry.get("labels", {}).get("outcome")
+        if outcome not in allowed:
+            errors.append(
+                f"$.counters.sdc_outcomes_total.values[{i}]: outcome "
+                f"{outcome!r} is not one of {sorted(allowed)}")
+    return errors
+
+
 def check(document_path: str, schema: dict) -> int:
     with open(document_path, encoding="utf-8") as handle:
         document = json.load(handle)
@@ -84,6 +102,7 @@ def check(document_path: str, schema: dict) -> int:
         validator = jsonschema.Draft7Validator(schema)
         errors = [f"$.{'.'.join(map(str, e.absolute_path))}: {e.message}"
                   for e in validator.iter_errors(metrics)]
+    errors.extend(_check_outcome_labels(metrics, schema))
     if errors:
         print(f"{document_path}: FAIL")
         for error in errors:

@@ -46,6 +46,12 @@ from repro.dse.evaluator import (
 from repro.dse.explorer import ExplorationOutcome, GreedyExplorer
 from repro.dse.parallel import ParallelCampaignRunner
 from repro.dse.pareto import DesignConstraints
+from repro.dse.sdc import (
+    DEFAULT_RATE,
+    DEFAULT_TRIALS,
+    SdcSweepResult,
+    SdcSweepRunner,
+)
 from repro.dse.space import DesignSpace
 from repro.dse.table1 import Table1Row, generate_table1, render_table1
 from repro.faults.flaps import FlapSchedule
@@ -58,6 +64,7 @@ __all__ = [
     "table1",
     "explore",
     "run_chaos",
+    "sdc_sweep",
     "metrics",
     "metrics_registry",
     "render_metrics",
@@ -69,6 +76,7 @@ __all__ = [
     "ExplorationOutcome",
     "FlapSchedule",
     "ResilienceReport",
+    "SdcSweepResult",
     "Table1Row",
 ]
 
@@ -193,6 +201,39 @@ def run_chaos(*, topology: str = "line",
         flaps=flaps if flaps is not None and len(flaps) else None,
         chaos_seconds=chaos_seconds)
     return scenario.run()
+
+
+def sdc_sweep(configs, *,
+              entries: int = 20,
+              packets: int = 4,
+              sites=None,
+              trials: int = DEFAULT_TRIALS,
+              rate: float = DEFAULT_RATE,
+              seed: int = 0,
+              max_faults: Optional[int] = None,
+              jobs: int = 1,
+              journal: Optional[str] = None,
+              resume: bool = False) -> SdcSweepResult:
+    """Soft-error vulnerability sweep over *configs*.
+
+    Every configuration runs ``trials`` seeded datapath-injection trials
+    per fault site (bus transfers, operand/trigger/result latches,
+    socket decodes); each trial is classified against the fault-free
+    golden run as ``masked`` / ``detected`` / ``sdc`` / ``crash`` /
+    ``hang`` by the differential oracle (:mod:`repro.verify`). The
+    result carries a per-configuration vulnerability row — SDC rate,
+    detection coverage, mean faults-to-failure — plus every trial
+    record, and renders to a deterministic text table.
+
+    ``jobs``/``journal``/``resume`` behave exactly as in :func:`table1`:
+    parallel, resumed, and sequential sweeps produce byte-identical
+    output.
+    """
+    runner = SdcSweepRunner(
+        entries=entries, packet_batch=packets, sites=sites,
+        trials=trials, rate=rate, seed=seed, max_faults=max_faults,
+        jobs=jobs, journal_path=journal, resume=resume)
+    return runner.run(list(configs))
 
 
 def metrics(*, reset: bool = False) -> dict:

@@ -7,6 +7,9 @@ Subcommands:
 * ``explore`` — run the heuristic design-space explorer (future-work tool);
 * ``ripng`` — simulate RIPng convergence on a line/ring topology;
 * ``chaos`` — run a seeded fault-injection scenario and report resilience;
+* ``sdc`` — datapath soft-error sweep: seeded bit flips in bus
+  transfers/FU latches/socket decodes, each trial classified against the
+  fault-free golden run (masked/detected/sdc/crash/hang);
 * ``metrics`` — render a metrics snapshot (live, or the ``metrics``
   section of a saved ``--output`` JSON) as a table.
 
@@ -68,6 +71,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_ripng(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "sdc":
+        from repro.errors import CampaignError
+        try:
+            return _cmd_sdc(args)
+        except CampaignError as exc:
+            print(f"campaign error: {exc}", file=sys.stderr)
+            return 2
     if args.command == "describe":
         return _cmd_describe(args)
     if args.command == "metrics":
@@ -139,6 +149,41 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="ROUTER:IFACE:DOWN:UP",
                        help="flap a link, e.g. r1:1:60:320 (repeatable)")
     _add_output_argument(chaos)
+
+    sdc = sub.add_parser(
+        "sdc", help="datapath soft-error (SDC) vulnerability sweep")
+    sdc.add_argument("--table", action="append", default=None,
+                     choices=("sequential", "balanced-tree", "cam"),
+                     help="routing-table kind to sweep (repeatable; "
+                          "default: all three)")
+    sdc.add_argument("--buses", type=int, nargs="+", default=[1, 2, 3],
+                     metavar="N", help="bus counts to sweep (default 1 2 3)")
+    sdc.add_argument("--site", action="append", default=None,
+                     choices=("bus", "operand", "trigger", "result",
+                              "socket"),
+                     help="fault site to inject at (repeatable; "
+                          "default: all five)")
+    sdc.add_argument("--trials", type=int, default=8,
+                     help="injection trials per (config, site) (default 8)")
+    sdc.add_argument("--rate", type=float, default=0.002,
+                     help="per-transport fault probability (default 0.002)")
+    sdc.add_argument("--seed", type=int, default=0,
+                     help="root seed (sweeps replay bit-for-bit)")
+    sdc.add_argument("--max-faults", type=int, default=None, metavar="N",
+                     help="cap applied faults per trial (e.g. 1 for "
+                          "single-event-upset studies)")
+    sdc.add_argument("--entries", type=int, default=20,
+                     help="routing table size (default 20)")
+    sdc.add_argument("--packets", type=int, default=4,
+                     help="measurement batch size (default 4)")
+    sdc.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="fan trials out over N worker processes "
+                          "(default 1; output is byte-identical)")
+    sdc.add_argument("--journal", default=None, metavar="PATH",
+                     help="crash-safe JSONL journal of every trial")
+    sdc.add_argument("--resume", action="store_true",
+                     help="replay the journal and skip completed trials")
+    _add_output_argument(sdc)
 
     desc = sub.add_parser(
         "describe", help="emit an instance's top-level description")
@@ -386,6 +431,28 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.output:
         _write_json(args.output, report.to_dict())
     return 0 if report.converged and report.all_tables_agree else 1
+
+
+def _cmd_sdc(args: argparse.Namespace) -> int:
+    from repro.dse.sdc import SdcSweepRunner
+
+    tables = args.table or ["sequential", "balanced-tree", "cam"]
+    configs = [ArchitectureConfiguration(bus_count=buses, table_kind=table)
+               for table in tables for buses in args.buses]
+    runner = SdcSweepRunner(
+        entries=args.entries, packet_batch=args.packets,
+        sites=args.site, trials=args.trials, rate=args.rate,
+        seed=args.seed, max_faults=args.max_faults,
+        jobs=args.jobs, journal_path=args.journal, resume=args.resume)
+    result = runner.run(configs)
+    print(result.render())
+    if args.output:
+        _write_json(args.output, result.to_dict())
+    if result.resumed:
+        print(f"(resumed {result.resumed} trial(s) from {args.journal})",
+              file=sys.stderr)
+    failed = sum(row["failed"] for row in result.rows)
+    return 3 if failed else 0
 
 
 def _cmd_describe(args: argparse.Namespace) -> int:

@@ -31,6 +31,14 @@ from repro.dse.explorer import (
 )
 from repro.dse.parallel import ParallelCampaignRunner
 from repro.dse.pareto import DesignConstraints, pareto_front, select_best
+from repro.dse.sdc import (
+    SdcSweepResult,
+    SdcSweepRunner,
+    SdcTrial,
+    plan_trials,
+    run_sdc_sweep,
+    vulnerability_row,
+)
 from repro.dse.protocols import (
     BatchEvaluator,
     supports_batching,
@@ -56,6 +64,8 @@ __all__ = [
     "EvaluatorProtocol", "BatchEvaluator", "supports_batching",
     "ExhaustiveExplorer", "ExplorationOutcome", "GreedyExplorer",
     "ParallelCampaignRunner",
+    "SdcSweepResult", "SdcSweepRunner", "SdcTrial",
+    "plan_trials", "run_sdc_sweep", "vulnerability_row",
     "DesignConstraints", "pareto_front", "select_best",
     "DesignSpace", "paper_space",
     "PAPER_TABLE1", "Table1Row", "generate_table1", "render_table1",

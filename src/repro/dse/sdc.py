@@ -1,0 +1,488 @@
+"""SDC-sweep campaigns: datapath vulnerability across a design space.
+
+The reliability counterpart of the performance sweeps: for every
+architecture configuration, run many seeded soft-error injection trials
+(one per ``(site, trial index)``), classify each against the
+fault-free golden run with the :class:`~repro.verify.DifferentialOracle`,
+and distil a per-configuration vulnerability row — SDC rate, detection
+coverage, mean faults-to-failure.
+
+Everything hard-won by the performance campaigns is reused, not
+reinvented:
+
+* **journal + resume** — every classified trial is appended to the same
+  fsync'd JSONL journal format (:func:`~repro.dse.campaign.load_journal`
+  parses it unchanged), so a killed sweep resumes without repeating a
+  single simulation and its final ``--output`` JSON is byte-identical;
+* **parallelism** — trials fan out over a process pool; each worker
+  keeps a per-process oracle cache so the golden reference for a
+  configuration is simulated once per worker, not once per trial. A
+  broken pool degrades to in-parent evaluation of the remaining trials
+  instead of aborting the sweep;
+* **determinism** — trial seeds derive from
+  :func:`~repro.faults.seeds.derive_seed`\\ ``(seed, config_key, site,
+  index)``, so results do not depend on job count, completion order, or
+  which trials were resumed from the journal;
+* **observability** — injection and outcome counters are published in
+  the parent at persist time only, so sequential, parallel, and resumed
+  sweeps account identically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import BrokenExecutor
+from concurrent.futures.process import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import multiprocessing
+
+from repro.dse.campaign import (
+    JOURNAL_VERSION,
+    _record_line,
+    config_from_dict,
+    config_key,
+    config_to_dict,
+    load_journal,
+    write_atomic,
+)
+from repro.dse.config import ArchitectureConfiguration
+from repro.dse.parallel import default_start_method
+from repro.errors import CampaignError, ReproError
+from repro.faults.datapath import FAULT_SITES
+from repro.faults.seeds import derive_seed
+from repro.obs import get_registry
+from repro.routing.entry import RouteEntry
+from repro.verify.oracle import OUTCOMES, DifferentialOracle
+from repro.workload import generate_routes, worst_case_workload
+
+DEFAULT_TRIALS = 8
+DEFAULT_RATE = 0.002
+
+
+# -- trials ------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SdcTrial:
+    """One scheduled injection trial."""
+
+    config: ArchitectureConfiguration
+    site: str
+    index: int
+    seed: int
+    rate: float
+    max_faults: Optional[int]
+
+    @property
+    def key(self) -> str:
+        """Canonical journal identity of this trial."""
+        return json.dumps({
+            "config": config_key(self.config),
+            "site": self.site,
+            "trial": self.index,
+            "seed": self.seed,
+            "rate": self.rate,
+            "max_faults": self.max_faults,
+        }, sort_keys=True, separators=(",", ":"))
+
+
+def plan_trials(configs: Sequence[ArchitectureConfiguration],
+                sites: Sequence[str], trials: int, rate: float,
+                seed: int, max_faults: Optional[int]) -> List[SdcTrial]:
+    """Deterministic trial enumeration: config-major, then site, then
+    index. Seeds derive from the *identity* of the trial, never its
+    position in the plan, so adding a site or config cannot re-roll any
+    other trial."""
+    plan: List[SdcTrial] = []
+    for config in configs:
+        key = config_key(config)
+        for site in sites:
+            for index in range(trials):
+                plan.append(SdcTrial(
+                    config=config, site=site, index=index,
+                    seed=derive_seed(seed, key, site, index),
+                    rate=rate, max_faults=max_faults))
+    return plan
+
+
+def _classify_trial(oracle: DifferentialOracle,
+                    trial: SdcTrial) -> Dict[str, object]:
+    """One trial -> one journal record (never raises for ReproError)."""
+    base: Dict[str, object] = {
+        "v": JOURNAL_VERSION,
+        "key": trial.key,
+        "config": config_to_dict(trial.config),
+        "site": trial.site,
+        "trial": trial.index,
+        "seed": trial.seed,
+        "rate": trial.rate,
+        "max_faults": trial.max_faults,
+    }
+    try:
+        outcome = oracle.classify(
+            seed=trial.seed, rate=trial.rate, sites=(trial.site,),
+            max_faults=trial.max_faults)
+    except ReproError as exc:
+        base["status"] = "failed"
+        base["error"] = type(exc).__name__
+        base["message"] = str(exc)
+        return base
+    base["status"] = "ok"
+    base["outcome"] = outcome.to_dict()
+    return base
+
+
+# -- worker side -------------------------------------------------------------------
+
+_worker_workload: Optional[Tuple[list, list, Optional[int]]] = None
+_worker_oracles: Dict[str, DifferentialOracle] = {}
+
+
+def _init_sdc_worker(routes, packets, max_cycles) -> None:
+    global _worker_workload
+    _worker_workload = (routes, packets, max_cycles)
+    _worker_oracles.clear()
+
+
+def _classify_chunk(payloads: List[Dict[str, object]]
+                    ) -> List[Dict[str, object]]:
+    """Classify a chunk of trial payloads in a pool worker.
+
+    The per-process oracle cache means one golden simulation per
+    configuration per worker, amortised over every trial in its chunks.
+    """
+    routes, packets, max_cycles = _worker_workload
+    records = []
+    for payload in payloads:
+        config = ArchitectureConfiguration(**payload["config"])
+        trial = SdcTrial(
+            config=config, site=payload["site"], index=payload["trial"],
+            seed=payload["seed"], rate=payload["rate"],
+            max_faults=payload["max_faults"])
+        cache_key = config_key(config)
+        oracle = _worker_oracles.get(cache_key)
+        if oracle is None:
+            oracle = DifferentialOracle(config, routes, packets,
+                                        max_cycles=max_cycles)
+            _worker_oracles[cache_key] = oracle
+        records.append(_classify_trial(oracle, trial))
+    return records
+
+
+# -- results -----------------------------------------------------------------------
+
+
+def vulnerability_row(config: ArchitectureConfiguration,
+                      records: Sequence[Dict[str, object]]
+                      ) -> Dict[str, object]:
+    """Distil one configuration's trial records into its table row."""
+    counts = {outcome: 0 for outcome in OUTCOMES}
+    by_site: Dict[str, Dict[str, int]] = {}
+    failed = 0
+    faults_total = 0
+    failure_faults: List[int] = []
+    for record in records:
+        if record["status"] != "ok":
+            failed += 1
+            continue
+        outcome = record["outcome"]
+        klass = outcome["outcome"]
+        counts[klass] += 1
+        faults = outcome["faults_injected"]
+        faults_total += faults
+        site = record["site"]
+        site_counts = by_site.setdefault(
+            site, {o: 0 for o in OUTCOMES})
+        site_counts[klass] += 1
+        if klass != "masked":
+            failure_faults.append(faults)
+    ok = sum(counts.values())
+    not_masked = ok - counts["masked"]
+    caught = counts["detected"] + counts["crash"] + counts["hang"]
+    return {
+        "table": config.table_kind,
+        "config": config.label(),
+        "trials": ok,
+        "failed": failed,
+        "outcomes": dict(counts),
+        "by_site": {site: dict(site_counts)
+                    for site, site_counts in sorted(by_site.items())},
+        "faults_injected": faults_total,
+        "sdc_rate": counts["sdc"] / ok if ok else None,
+        "detection_coverage": caught / not_masked if not_masked else None,
+        "mean_faults_to_failure":
+            sum(failure_faults) / len(failure_faults)
+            if failure_faults else None,
+    }
+
+
+@dataclass
+class SdcSweepResult:
+    """Outcome of one (possibly resumed) SDC sweep."""
+
+    records: List[Dict[str, object]]  # plan order, one per trial
+    rows: List[Dict[str, object]]     # one per configuration
+    sites: Tuple[str, ...]
+    trials_per_site: int
+    rate: float
+    seed: int
+    resumed: int = 0
+    discarded_records: int = 0
+
+    @property
+    def outcome_totals(self) -> Dict[str, int]:
+        totals = {outcome: 0 for outcome in OUTCOMES}
+        for row in self.rows:
+            for outcome, count in row["outcomes"].items():
+                totals[outcome] += count
+        return totals
+
+    def render(self) -> str:
+        """Deterministic text artifact — byte-identical whether the
+        sweep ran through, ran parallel, or was killed and resumed."""
+        from repro.reporting.reliability import render_vulnerability_table
+        return render_vulnerability_table(self)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view. Deliberately free of resume/journal
+        bookkeeping (``resumed``, ``discarded_records`` stay on the
+        object): the saved document must be byte-identical whether the
+        sweep ran through, ran parallel, or was killed and resumed."""
+        return {
+            "sites": list(self.sites),
+            "trials_per_site": self.trials_per_site,
+            "rate": self.rate,
+            "seed": self.seed,
+            "rows": list(self.rows),
+            "outcome_totals": self.outcome_totals,
+            "records": list(self.records),
+        }
+
+    def write_output(self, path: str) -> None:
+        write_atomic(path, self.render() + "\n")
+
+
+# -- the runner --------------------------------------------------------------------
+
+
+class SdcSweepRunner:
+    """Journal-backed, optionally parallel SDC-sweep driver.
+
+    *routes*/*packets* default to the same deterministic workload the
+    performance evaluator uses (``generate_routes`` +
+    ``worst_case_workload``), so vulnerability numbers are measured on
+    exactly the workload the performance numbers were.
+    """
+
+    def __init__(self,
+                 routes: Optional[Sequence[RouteEntry]] = None,
+                 packets: Optional[Sequence[Tuple[int, bytes]]] = None,
+                 entries: int = 20,
+                 packet_batch: int = 4,
+                 sites: Optional[Sequence[str]] = None,
+                 trials: int = DEFAULT_TRIALS,
+                 rate: float = DEFAULT_RATE,
+                 seed: int = 0,
+                 max_faults: Optional[int] = None,
+                 max_cycles: Optional[int] = None,
+                 jobs: int = 1,
+                 journal_path: Optional[str] = None,
+                 resume: bool = False,
+                 chunk_size: Optional[int] = None,
+                 start_method: Optional[str] = None):
+        if jobs < 1:
+            raise CampaignError(f"jobs must be >= 1, got {jobs}")
+        if trials < 1:
+            raise CampaignError(f"trials must be >= 1, got {trials}")
+        chosen = tuple(sites) if sites is not None else FAULT_SITES
+        unknown = sorted(set(chosen) - set(FAULT_SITES))
+        if unknown:
+            raise CampaignError(
+                f"unknown fault sites {unknown}; "
+                f"valid sites are {sorted(FAULT_SITES)}")
+        self.routes = list(routes) if routes is not None \
+            else generate_routes(entries)
+        self.packets = list(packets) if packets is not None \
+            else worst_case_workload(self.routes, packet_batch)
+        self.sites = tuple(s for s in FAULT_SITES if s in chosen)
+        self.trials = trials
+        self.rate = rate
+        self.seed = seed
+        self.max_faults = max_faults
+        self.max_cycles = max_cycles
+        self.jobs = jobs
+        self.journal_path = journal_path
+        self.chunk_size = chunk_size
+        self.start_method = start_method or default_start_method()
+        self.resumed = 0
+        self.discarded_records = 0
+        self._records: Dict[str, Dict[str, object]] = {}
+        self._replayed_keys: set = set()
+        self._oracles: Dict[str, DifferentialOracle] = {}
+        if resume:
+            if journal_path is None:
+                raise CampaignError("resume requested without a journal")
+            if os.path.exists(journal_path):
+                records, discarded = load_journal(journal_path)
+                self.discarded_records = discarded
+                for record in records:
+                    self._records[record["key"]] = record
+                self._replayed_keys = set(self._records)
+                if discarded:
+                    write_atomic(journal_path, "".join(
+                        _record_line(r) + "\n" for r in records))
+        elif journal_path is not None and os.path.exists(journal_path) \
+                and os.path.getsize(journal_path) > 0:
+            raise CampaignError(
+                f"journal {journal_path!r} already exists; resume the "
+                f"sweep (resume=True / --resume) or remove the file")
+
+    # -- sweep driver -------------------------------------------------------------
+
+    def run(self, configs: Sequence[ArchitectureConfiguration]
+            ) -> SdcSweepResult:
+        """Sweep every ``config x site x trial``; never raises for a
+        configuration whose golden run fails (those trials are recorded
+        ``failed`` and excluded from the rates)."""
+        registry = get_registry()
+        plan = plan_trials(configs, self.sites, self.trials, self.rate,
+                           self.seed, self.max_faults)
+        pending: List[SdcTrial] = []
+        for trial in plan:
+            key = trial.key
+            if key in self._records:
+                if key in self._replayed_keys:
+                    self._replayed_keys.discard(key)
+                    self.resumed += 1
+                    if registry.enabled:
+                        registry.counter(
+                            "sdc_resumed_total",
+                            "injection trials replayed from a journal"
+                        ).inc()
+            else:
+                pending.append(trial)
+        if pending and self.jobs > 1:
+            pending = self._run_pool(pending)
+        for trial in pending:
+            if trial.key not in self._records:
+                self._persist(trial.key, _classify_trial(
+                    self._oracle(trial.config), trial))
+
+        ordered = [self._records[trial.key] for trial in plan]
+        rows = []
+        offset = 0
+        per_config = len(self.sites) * self.trials
+        for config in configs:
+            rows.append(vulnerability_row(
+                config, ordered[offset:offset + per_config]))
+            offset += per_config
+        return SdcSweepResult(
+            records=ordered, rows=rows, sites=self.sites,
+            trials_per_site=self.trials, rate=self.rate, seed=self.seed,
+            resumed=self.resumed,
+            discarded_records=self.discarded_records)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _oracle(self, config: ArchitectureConfiguration
+                ) -> DifferentialOracle:
+        key = config_key(config)
+        oracle = self._oracles.get(key)
+        if oracle is None:
+            oracle = DifferentialOracle(config, self.routes, self.packets,
+                                        max_cycles=self.max_cycles)
+            self._oracles[key] = oracle
+        return oracle
+
+    def _run_pool(self, pending: List[SdcTrial]) -> List[SdcTrial]:
+        """Fan *pending* out over a process pool; returns the trials the
+        pool never finished (evaluated in-parent by the caller)."""
+        chunks = self._chunked(pending)
+        pool = ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(chunks)),
+            mp_context=multiprocessing.get_context(self.start_method),
+            initializer=_init_sdc_worker,
+            initargs=(self.routes, self.packets, self.max_cycles))
+        try:
+            futures = []
+            for chunk in chunks:
+                payloads = [{
+                    "config": config_to_dict(trial.config),
+                    "site": trial.site, "trial": trial.index,
+                    "seed": trial.seed, "rate": trial.rate,
+                    "max_faults": trial.max_faults,
+                } for trial in chunk]
+                futures.append((pool.submit(_classify_chunk, payloads),
+                                chunk))
+            for future, chunk in futures:
+                try:
+                    records = future.result()
+                except BrokenExecutor:
+                    # pool died: the caller classifies what's left
+                    # in-process — slower, never wrong
+                    break
+                for trial, record in zip(chunk, records):
+                    self._persist(trial.key, record)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return [trial for trial in pending
+                if trial.key not in self._records]
+
+    def _chunked(self, pending: Sequence[SdcTrial]) -> List[List[SdcTrial]]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, len(pending) // (self.jobs * 4))
+        return [list(pending[i:i + size])
+                for i in range(0, len(pending), size)]
+
+    def _persist(self, key: str,
+                 record: Dict[str, object]) -> Dict[str, object]:
+        self._records[key] = record
+        self._publish_record_metrics(record)
+        if self.journal_path is not None:
+            with open(self.journal_path, "a", encoding="utf-8") as handle:
+                handle.write(_record_line(record) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+        return record
+
+    @staticmethod
+    def _publish_record_metrics(record: Dict[str, object]) -> None:
+        """Injection/outcome counters for one fresh trial record.
+
+        Published in the parent only — pool workers never touch the
+        registry — so sequential and parallel sweeps account
+        identically and a resumed trial is never double-counted.
+        """
+        registry = get_registry()
+        if not registry.enabled:
+            return
+        registry.counter(
+            "sdc_trials_total",
+            "classified injection trials by status", ("status",)
+        ).inc(status=record["status"])
+        if record["status"] != "ok":
+            return
+        outcome = record["outcome"]
+        registry.counter(
+            "sdc_outcomes_total",
+            "injection trials by oracle classification", ("outcome",)
+        ).inc(outcome=outcome["outcome"])
+        injections = registry.counter(
+            "sdc_injections_total",
+            "datapath faults actually applied", ("site",))
+        for site, count in sorted(outcome["faults_by_site"].items()):
+            injections.inc(count, site=site)
+
+
+def run_sdc_sweep(configs: Sequence[ArchitectureConfiguration],
+                  **kwargs) -> SdcSweepResult:
+    """One-shot convenience over :class:`SdcSweepRunner`.
+
+    Keyword arguments are the runner's; ``journal_path``/``resume``
+    and ``jobs`` behave exactly as in the performance campaigns.
+    """
+    return SdcSweepRunner(**kwargs).run(configs)

@@ -80,15 +80,21 @@ class CycleBudgetError(SimulationError):
     campaign runners retry once at a larger budget before quarantining.
     ``cycles`` is the budget that was exhausted, ``pc`` the program
     counter at the time, and ``loop`` an optional pc loop signature
-    (see :mod:`repro.tta.hazards`).
+    (see :mod:`repro.tta.hazards`). ``diagnosis`` is a human-readable
+    watchdog verdict — the loop signature's rendering for a TTA run, or
+    a :class:`repro.faults.watchdog.WatchdogDiagnosis` summary when the
+    budget was exhausted at the network level — so hang classifiers
+    (the differential oracle, campaign failure records) carry *why* the
+    run spun, not just that it did.
     """
 
     def __init__(self, message: str, *, cycles: int = 0, pc: int = 0,
-                 loop=None, run=None):
+                 loop=None, run=None, diagnosis=None):
         super().__init__(message, run=run)
         self.cycles = cycles
         self.pc = pc
         self.loop = loop
+        self.diagnosis = diagnosis
 
 
 class ObservabilityError(ReproError):

@@ -6,8 +6,19 @@ corruption, duplication, reordering, latency + jitter), scripted
 :class:`FlapSchedule` link outages, a :class:`SimulationWatchdog` that
 explains non-convergence, and a :class:`ChaosScenario` runner that
 composes them and reports a :class:`ResilienceReport`.
+
+Below the network sits the processor datapath: the
+:class:`DatapathFaultInjector` flips bits in bus transports, FU
+operand/trigger/result latches, and socket decodes of the cycle-accurate
+TTA simulator, feeding the differential oracle in :mod:`repro.verify`.
+All randomness derives from one root seed via :mod:`repro.faults.seeds`.
 """
 
+from repro.faults.datapath import (
+    FAULT_SITES,
+    DatapathFault,
+    DatapathFaultInjector,
+)
 from repro.faults.flaps import FlapEvent, FlapSchedule
 from repro.faults.model import FaultModel, FaultStatistics
 from repro.faults.scenario import (
@@ -15,11 +26,14 @@ from repro.faults.scenario import (
     ResilienceReport,
     advertised_prefixes,
 )
+from repro.faults.seeds import SEED_STRIDE, derive_seed, make_rng, spread_seed
 from repro.faults.watchdog import SimulationWatchdog, WatchdogDiagnosis
 
 __all__ = [
+    "FAULT_SITES", "DatapathFault", "DatapathFaultInjector",
     "FlapEvent", "FlapSchedule",
     "FaultModel", "FaultStatistics",
     "ChaosScenario", "ResilienceReport", "advertised_prefixes",
+    "SEED_STRIDE", "derive_seed", "make_rng", "spread_seed",
     "SimulationWatchdog", "WatchdogDiagnosis",
 ]

@@ -15,11 +15,11 @@ attaching it cannot perturb a simulation (pay-for-what-you-use).
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.errors import FaultInjectionError
+from repro.faults.seeds import make_rng
 
 #: one scheduled delivery: (whole simulation steps to wait, frame bytes)
 Delivery = Tuple[int, bytes]
@@ -83,7 +83,7 @@ class FaultModel:
         self.latency_steps = latency_steps
         self.jitter_steps = jitter_steps
         self.stats = FaultStatistics()
-        self._rng = random.Random(seed)
+        self._rng = make_rng(seed)
 
     @property
     def is_null(self) -> bool:

@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.errors import FaultInjectionError
 from repro.faults.flaps import FlapSchedule
 from repro.faults.model import FaultModel, FaultStatistics
+from repro.faults.seeds import spread_seed
 from repro.faults.watchdog import SimulationWatchdog, WatchdogDiagnosis
 from repro.ipv6.address import Ipv6Prefix
 from repro.ipv6.ripng import METRIC_INFINITY
@@ -31,10 +32,6 @@ from repro.router.network import ConvergenceReport, Network
 
 #: factory mapping a link index to its fault model (None = leave clean)
 FaultFactory = Callable[[int], Optional[FaultModel]]
-
-#: spreads per-link seeds apart so link i and link i+1 never share a
-#: random stream even for adjacent scenario seeds
-_SEED_STRIDE = 100003
 
 
 @dataclass
@@ -210,7 +207,7 @@ class ChaosScenario:
         """Same fault parameters on every link, per-link derived seeds."""
 
         def factory(index: int) -> FaultModel:
-            return FaultModel(seed=seed * _SEED_STRIDE + index,
+            return FaultModel(seed=spread_seed(seed, index),
                               drop_probability=drop,
                               corrupt_probability=corrupt,
                               duplicate_probability=duplicate,

@@ -1,0 +1,69 @@
+"""Shared seed derivation for every fault-injection stream.
+
+All randomness in the fault layer flows from per-site ``random.Random``
+generators whose seeds are *derived* from one experiment root seed. Two
+properties matter:
+
+* **stability** — the stream a site gets depends only on the root seed
+  and the site's identity, never on registration order, dict iteration
+  order, or how many other sites exist. Adding a fault site to an
+  experiment must not silently reshuffle every other site's stream;
+* **independence** — adjacent root seeds, and sibling sites under one
+  root, get streams that do not overlap in practice.
+
+Two derivation forms exist because they predate each other:
+
+* :func:`spread_seed` is the legacy affine form
+  (``root * SEED_STRIDE + index``) that :class:`~repro.faults.scenario.ChaosScenario`
+  has always used for per-link models. It is pinned by regression test —
+  changing it would silently re-roll every recorded chaos experiment;
+* :func:`derive_seed` is the labelled form for named sites (the datapath
+  injector's ``bus``/``operand``/... streams, sweep trials): a SHA-256
+  digest of the root plus the label path, so any hashable-as-string
+  identity gets a stable 64-bit seed with no ordering assumptions at all.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Union
+
+#: spreads per-index seeds apart so index i and index i+1 never share a
+#: random stream even for adjacent root seeds (legacy affine derivation)
+SEED_STRIDE = 100003
+
+_SeedPart = Union[int, str]
+
+
+def spread_seed(root: int, index: int) -> int:
+    """Legacy per-index derivation: ``root * SEED_STRIDE + index``.
+
+    Kept bit-compatible with the original :class:`ChaosScenario` link
+    seeding; the chaos-stream regression test pins this formula.
+    """
+    return root * SEED_STRIDE + index
+
+
+def derive_seed(root: int, *parts: _SeedPart) -> int:
+    """Stable 64-bit seed for the site identified by *parts* under *root*.
+
+    Order of *parts* is significant (it is a path: ``("bus",)``,
+    ``("trial", 3)``...), but the result never depends on what other
+    sites exist or when they were registered. Uses SHA-256, not
+    :func:`hash`, so the value is identical across processes and
+    interpreter runs (``PYTHONHASHSEED`` does not leak in).
+    """
+    text = "\x1f".join([str(int(root))] + [str(p) for p in parts])
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def make_rng(seed: int) -> random.Random:
+    """The one constructor for fault-layer generators.
+
+    Centralised so every injector draws from the same PRNG family; a
+    future swap (e.g. to ``random.Random`` with a different algorithm)
+    happens in exactly one place, guarded by the stream-pinning tests.
+    """
+    return random.Random(seed)

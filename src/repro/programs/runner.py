@@ -10,7 +10,7 @@ semantics, and reports cycles-per-datagram plus utilisation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.dse.config import ArchitectureConfiguration
 from repro.errors import SimulationError
@@ -97,8 +97,16 @@ def run_forwarding(config: ArchitectureConfiguration,
                    machine: Optional[RouterMachine] = None,
                    max_cycles: int = 5_000_000,
                    verify: bool = True,
-                   detect_hazards: bool = False) -> ForwardingRunResult:
-    """Simulate one batch of datagrams through a fresh machine."""
+                   detect_hazards: bool = False,
+                   instrument: Optional[Callable[[Simulator], None]] = None,
+                   ) -> ForwardingRunResult:
+    """Simulate one batch of datagrams through a fresh machine.
+
+    *instrument* is called with the :class:`Simulator` after the hazard
+    detector (if any) is attached and before the run starts — the seam
+    fault injectors and tracers use to hook the datapath without this
+    module knowing about them.
+    """
     if machine is None:
         machine = build_machine(config, table_capacity=max(len(routes), 100))
     machine.load_routes(routes)
@@ -116,6 +124,8 @@ def run_forwarding(config: ArchitectureConfiguration,
     if detect_hazards:
         detector = HazardDetector(machine.processor)
         detector.attach(simulator)
+    if instrument is not None:
+        instrument(simulator)
     report = simulator.run(max_cycles=max_cycles)
 
     mismatches: List[str] = []

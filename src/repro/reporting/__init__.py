@@ -9,6 +9,7 @@ from repro.reporting.hazards import (
     aggregate_hazard_counts,
     render_hazard_summary,
 )
+from repro.reporting.reliability import render_vulnerability_table
 from repro.reporting.tables import render_rows, render_sweep
 from repro.reporting.utilization import (
     idle_units,
@@ -17,7 +18,7 @@ from repro.reporting.utilization import (
     saturated_units,
 )
 
-__all__ = ["render_rows", "render_sweep",
+__all__ = ["render_rows", "render_sweep", "render_vulnerability_table",
            "architecture_manifest", "describe_machine", "to_dot",
            "aggregate_hazard_counts", "render_hazard_summary",
            "idle_units", "module_utilization", "render_utilization",

@@ -1,0 +1,48 @@
+"""Rendering for datapath-reliability (SDC sweep) results.
+
+One fixed-width vulnerability table per sweep: a row per architecture
+configuration with its outcome histogram and the three derived
+vulnerability metrics. Rendered purely from journal records, so a
+resumed or parallel sweep prints byte-identically to a sequential one.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.reporting.tables import render_rows
+
+
+def _pct(value) -> str:
+    return "NA" if value is None else f"{value * 100:.1f}"
+
+
+def _mean(value) -> str:
+    return "NA" if value is None else f"{value:.1f}"
+
+
+def render_vulnerability_table(result) -> str:
+    """Text artifact for one :class:`~repro.dse.sdc.SdcSweepResult`."""
+    rows: List[List[object]] = []
+    for row in result.rows:
+        outcomes = row["outcomes"]
+        rows.append([
+            row["table"], row["config"],
+            row["trials"] + row["failed"],
+            outcomes["masked"], outcomes["detected"], outcomes["sdc"],
+            outcomes["crash"], outcomes["hang"],
+            _pct(row["sdc_rate"]),
+            _pct(row["detection_coverage"]),
+            _mean(row["mean_faults_to_failure"]),
+        ])
+    table = render_rows(
+        ["Table", "Configuration", "Trials", "Masked", "Detected", "SDC",
+         "Crash", "Hang", "SDC%", "Coverage%", "MFTF"], rows)
+    totals = result.outcome_totals
+    trials = sum(totals.values())
+    footer = (f"{trials} trials over {len(result.rows)} configurations, "
+              f"sites {'/'.join(result.sites)}, "
+              f"rate {result.rate:g}, seed {result.seed}: "
+              + ", ".join(f"{outcome} {count}"
+                          for outcome, count in sorted(totals.items())))
+    return table + "\n" + footer

@@ -53,6 +53,13 @@ class Simulator:
         #: optional observer: on_move(cycle, pc, bus, move, value);
         #: value is None when a guard squashed the move
         self.move_hook = None
+        #: optional transport filter: (cycle, pc, bus, move, value) ->
+        #: (move, value), applied after the source read and *before* the
+        #: move_hook observers and the destination write — the injection
+        #: point for datapath fault models. Observers therefore see the
+        #: transport exactly as it happened on the bus, faults included,
+        #: the way a hardware bus monitor would.
+        self.transport_filter = None
 
     # -- public API ---------------------------------------------------------------
 
@@ -70,7 +77,8 @@ class Simulator:
                     raise CycleBudgetError(
                         f"program did not halt within {max_cycles} cycles "
                         f"(pc={pc}){detail}",
-                        cycles=max_cycles, pc=pc, loop=signature)
+                        cycles=max_cycles, pc=pc, loop=signature,
+                        diagnosis=signature.render() if signature else None)
                 self.step()
         finally:
             # Publish even on a budget raise: the cycles were executed.
@@ -158,6 +166,9 @@ class Simulator:
                                        None)
                     continue
             value = self._read_source(move.source)
+            if self.transport_filter is not None:
+                move, value = self.transport_filter(
+                    self.cycle, nc.pc, bus_index, move, value)
             if self.move_hook is not None:
                 self.move_hook(self.cycle, nc.pc, bus_index, move, value)
             issued.append((bus_index, move, value))

@@ -1,0 +1,27 @@
+"""Self-checking verification oracles.
+
+The cycle-accurate simulator already verifies against the functional
+golden model; this package adds the *differential* layer used by
+reliability studies: run the same workload with and without injected
+faults and classify every divergence (see :mod:`repro.verify.oracle`).
+"""
+
+from repro.verify.oracle import (
+    HANG_BUDGET_MULTIPLIER,
+    MIN_HANG_BUDGET,
+    OUTCOME_CRASH,
+    OUTCOME_DETECTED,
+    OUTCOME_HANG,
+    OUTCOME_MASKED,
+    OUTCOME_SDC,
+    OUTCOMES,
+    DifferentialOracle,
+    TrialOutcome,
+)
+
+__all__ = [
+    "HANG_BUDGET_MULTIPLIER", "MIN_HANG_BUDGET",
+    "OUTCOME_CRASH", "OUTCOME_DETECTED", "OUTCOME_HANG",
+    "OUTCOME_MASKED", "OUTCOME_SDC", "OUTCOMES",
+    "DifferentialOracle", "TrialOutcome",
+]
