@@ -32,6 +32,8 @@ from __future__ import annotations
 from functools import partial
 from typing import List, Optional, Union
 
+from repro.conformance import ConformanceReport
+from repro.conformance import run_conformance as _run_conformance
 from repro.dse.campaign import (
     CampaignPolicy,
     CampaignRunner,
@@ -54,8 +56,15 @@ from repro.dse.sdc import (
 )
 from repro.dse.space import DesignSpace
 from repro.dse.table1 import Table1Row, generate_table1, render_table1
+from repro.faults.control import (
+    ATTACK_KINDS,
+    AssaultReport,
+    ControlPlaneAssault,
+)
 from repro.faults.flaps import FlapSchedule
 from repro.faults.scenario import ChaosScenario, ResilienceReport
+from repro.pcap import ReplayReport, read_pcap
+from repro.pcap import replay as _replay
 from repro.obs import MetricsRegistry, get_registry, render_snapshot
 from repro.router.network import line_topology, ring_topology
 
@@ -63,6 +72,9 @@ __all__ = [
     "evaluate",
     "table1",
     "explore",
+    "conformance",
+    "replay_pcap",
+    "run_assault",
     "run_chaos",
     "sdc_sweep",
     "metrics",
@@ -75,6 +87,9 @@ __all__ = [
     "EvaluationResult",
     "ExplorationOutcome",
     "FlapSchedule",
+    "AssaultReport",
+    "ConformanceReport",
+    "ReplayReport",
     "ResilienceReport",
     "SdcSweepResult",
     "Table1Row",
@@ -201,6 +216,70 @@ def run_chaos(*, topology: str = "line",
         flaps=flaps if flaps is not None and len(flaps) else None,
         chaos_seconds=chaos_seconds)
     return scenario.run()
+
+
+#: CLI-friendly aliases for routing-table kinds
+_TABLE_ALIASES = {"tree": "balanced-tree"}
+
+
+def conformance(*, table_kind: str = "sequential",
+                config: Optional[ArchitectureConfiguration] = None,
+                mac: bool = True,
+                mutant: Optional[str] = None,
+                datapath: bool = True) -> ConformanceReport:
+    """Run the table-driven forwarding conformance suite.
+
+    The matrix crosses packet kind (tcpv6/udpv6/icmpv6), destination
+    class (on-link / LPM / default / no-route) and hop limit (64/1/0),
+    asserts the full forwarding contract per case — LPM selection,
+    hop-limit decrement, ICMPv6 Time Exceeded / Destination Unreachable,
+    my-station check, MAC rewrite, checksum preservation — and
+    cross-checks the cycle-accurate TTA datapath against the golden
+    model. ``table_kind`` accepts ``"tree"`` as an alias for
+    ``"balanced-tree"``; *mutant* names a deliberately broken router or
+    program (the suite must then fail, with case-level diagnosis).
+    """
+    return _run_conformance(
+        table_kind=_TABLE_ALIASES.get(table_kind, table_kind),
+        config=config, mac=mac, mutant=mutant, datapath=datapath)
+
+
+def run_assault(*, topology: str = "line",
+                routers: int = 4,
+                seed: int = 2080,
+                victim: Optional[str] = None,
+                kinds=None,
+                attack_rounds: int = 30,
+                burst_per_round: int = 2) -> AssaultReport:
+    """Drive an adversarial RIPng campaign at a converged network.
+
+    Injects malformed, martian, spoofed-next-hop, withdrawal and
+    oversized advertisements (seeded — same seed, same report) and
+    asserts graceful degradation: no exceptions, no poisoned routes
+    installed, reconvergence, and every attack visible in drop counters.
+    """
+    if topology == "line":
+        network = line_topology(routers)
+    elif topology == "ring":
+        network = ring_topology(routers)
+    else:
+        raise ValueError(f"unknown topology {topology!r}; "
+                         f"choose 'line' or 'ring'")
+    assault = ControlPlaneAssault(
+        network, victim=victim, seed=seed,
+        kinds=tuple(kinds) if kinds else ATTACK_KINDS,
+        attack_rounds=attack_rounds, burst_per_round=burst_per_round)
+    return assault.run()
+
+
+def replay_pcap(path: str, *,
+                table_kind: str = "sequential",
+                interface: int = 0) -> ReplayReport:
+    """Replay a classic pcap capture through the conformance fixture,
+    measuring per-packet latency (published as obs percentiles)."""
+    return _replay(read_pcap(path),
+                   table_kind=_TABLE_ALIASES.get(table_kind, table_kind),
+                   interface=interface)
 
 
 def sdc_sweep(configs, *,

@@ -78,6 +78,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except CampaignError as exc:
             print(f"campaign error: {exc}", file=sys.stderr)
             return 2
+    if args.command == "conformance":
+        return _cmd_conformance(args)
+    if args.command == "assault":
+        return _cmd_assault(args)
     if args.command == "describe":
         return _cmd_describe(args)
     if args.command == "metrics":
@@ -122,7 +126,54 @@ def _build_parser() -> argparse.ArgumentParser:
     rip = sub.add_parser("ripng", help="RIPng convergence simulation")
     rip.add_argument("--topology", choices=("line", "ring"), default="line")
     rip.add_argument("--routers", type=int, default=4)
+    rip.add_argument("--capture", default=None, metavar="PATH",
+                     help="tap every link and write the run's frames as "
+                          "a classic pcap (replayable via "
+                          "'conformance --replay')")
     _add_output_argument(rip)
+
+    conf = sub.add_parser(
+        "conformance",
+        help="table-driven forwarding conformance suite")
+    conf.add_argument("--table", default="sequential",
+                      choices=("sequential", "tree", "balanced-tree",
+                               "cam"),
+                      help="routing-table implementation under test "
+                           "('tree' is an alias for 'balanced-tree')")
+    conf.add_argument("--no-mac", action="store_true",
+                      help="skip the link-layer (my-station / MAC "
+                           "rewrite) cases")
+    conf.add_argument("--no-datapath", action="store_true",
+                      help="skip the TTA-vs-golden datapath cross-check")
+    conf.add_argument("--mutant", default=None,
+                      help="run against a deliberately broken router or "
+                           "program (the suite must fail); one of: "
+                           "no-decrement, forward-expired, no-icmp, "
+                           "wrong-interface, program-no-decrement")
+    conf.add_argument("--replay", default=None, metavar="PATH",
+                      help="also replay a classic pcap through the "
+                           "fixture, with per-packet latency percentiles "
+                           "in the metrics section")
+    _add_output_argument(conf)
+
+    assault = sub.add_parser(
+        "assault", help="adversarial RIPng campaign against a victim")
+    assault.add_argument("--topology", choices=("line", "ring"),
+                         default="line")
+    assault.add_argument("--routers", type=int, default=4)
+    assault.add_argument("--seed", type=int, default=2080,
+                         help="attack seed (campaigns replay bit-for-bit)")
+    assault.add_argument("--kind", action="append", default=None,
+                         choices=("malformed", "martian",
+                                  "spoofed-next-hop", "withdrawal",
+                                  "oversized"),
+                         help="attack kind to inject (repeatable; "
+                              "default: all five)")
+    assault.add_argument("--rounds", type=int, default=30,
+                         help="attack rounds (default 30)")
+    assault.add_argument("--burst", type=int, default=2,
+                         help="hostile datagrams per round (default 2)")
+    _add_output_argument(assault)
 
     chaos = sub.add_parser(
         "chaos", help="seeded fault-injection / resilience scenario")
@@ -370,7 +421,15 @@ def _cmd_ripng(args: argparse.Namespace) -> int:
         network = line_topology(args.routers)
     else:
         network = ring_topology(args.routers)
+    taps = None
+    if args.capture:
+        from repro.pcap import attach_taps
+        taps = attach_taps(network)
     report = network.run_until_converged()
+    if taps is not None:
+        from repro.pcap import merged_capture, write_pcap
+        count = write_pcap(args.capture, merged_capture(taps))
+        print(f"captured {count} frames to {args.capture}")
     print(f"{args.topology} of {args.routers}: converged={report.converged} "
           f"in {report.rounds} rounds, "
           f"{report.messages_delivered} datagrams exchanged")
@@ -453,6 +512,53 @@ def _cmd_sdc(args: argparse.Namespace) -> int:
               file=sys.stderr)
     failed = sum(row["failed"] for row in result.rows)
     return 3 if failed else 0
+
+
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    from repro import api
+    from repro.errors import ReproError
+
+    try:
+        report = api.conformance(table_kind=args.table,
+                                 mac=not args.no_mac,
+                                 mutant=args.mutant,
+                                 datapath=not args.no_datapath)
+    except ReproError as exc:
+        print(f"conformance suite failed to run: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    payload = report.to_dict()
+    if args.replay:
+        try:
+            replay_report = api.replay_pcap(args.replay,
+                                            table_kind=args.table)
+        except (ReproError, OSError) as exc:
+            print(f"replay failed: {exc}", file=sys.stderr)
+            return 2
+        print(replay_report.render())
+        payload["replay"] = replay_report.to_dict()
+    if args.output:
+        _write_json(args.output, payload)
+    return 0 if report.passed else 1
+
+
+def _cmd_assault(args: argparse.Namespace) -> int:
+    from repro import api
+    from repro.errors import ReproError
+
+    try:
+        report = api.run_assault(topology=args.topology,
+                                 routers=args.routers, seed=args.seed,
+                                 kinds=args.kind,
+                                 attack_rounds=args.rounds,
+                                 burst_per_round=args.burst)
+    except ReproError as exc:
+        print(f"assault failed to run: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    if args.output:
+        _write_json(args.output, report.to_dict())
+    return 0 if report.passed else 1
 
 
 def _cmd_describe(args: argparse.Namespace) -> int:

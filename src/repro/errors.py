@@ -103,6 +103,15 @@ class ObservabilityError(ReproError):
     a programming error, never a runtime condition to tolerate."""
 
 
+class ConformanceError(ReproError):
+    """A conformance suite was misconfigured (unknown case, mutant,
+    table kind...). Case *failures* are reported, never raised."""
+
+
+class PcapError(ReproError):
+    """A pcap file could not be read or written (bad magic, truncation)."""
+
+
 class CampaignError(ReproError):
     """A design-space campaign is misconfigured or its journal is invalid."""
 

@@ -14,6 +14,13 @@ TTA simulator, feeding the differential oracle in :mod:`repro.verify`.
 All randomness derives from one root seed via :mod:`repro.faults.seeds`.
 """
 
+from repro.faults.control import (
+    ATTACK_KINDS,
+    AdversarialRipngAdvertiser,
+    AssaultReport,
+    ControlPlaneAssault,
+    control_plane_drops,
+)
 from repro.faults.datapath import (
     FAULT_SITES,
     DatapathFault,
@@ -30,6 +37,8 @@ from repro.faults.seeds import SEED_STRIDE, derive_seed, make_rng, spread_seed
 from repro.faults.watchdog import SimulationWatchdog, WatchdogDiagnosis
 
 __all__ = [
+    "ATTACK_KINDS", "AdversarialRipngAdvertiser", "AssaultReport",
+    "ControlPlaneAssault", "control_plane_drops",
     "FAULT_SITES", "DatapathFault", "DatapathFaultInjector",
     "FlapEvent", "FlapSchedule",
     "FaultModel", "FaultStatistics",

@@ -50,6 +50,10 @@ class ResilienceReport:
     frames_lost_link_down: int
     link_flaps_applied: int
     router_drops: Dict[str, int] = field(default_factory=dict)
+    #: control-plane refusals in the shared vocabulary of
+    #: :func:`repro.faults.control.control_plane_drops`, so chaos and
+    #: conformance/assault reports name the same events identically
+    control_drops: Dict[str, int] = field(default_factory=dict)
     peak_queue_depth: int = 0
     prefixes_checked: int = 0
     prefixes_disagreeing: List[str] = field(default_factory=list)
@@ -80,6 +84,10 @@ class ResilienceReport:
             drops = ", ".join(f"{reason}={count}" for reason, count
                               in sorted(self.router_drops.items()))
             lines.append(f"router drops: {drops}")
+        if self.control_drops:
+            drops = ", ".join(f"{reason}={count}" for reason, count
+                              in sorted(self.control_drops.items()))
+            lines.append(f"control-plane drops: {drops}")
         lines.append(
             f"routing tables agree on {self.prefixes_checked - len(self.prefixes_disagreeing)}"
             f"/{self.prefixes_checked} advertised prefixes")
@@ -123,6 +131,7 @@ class ResilienceReport:
             "frames_lost_link_down": self.frames_lost_link_down,
             "link_flaps_applied": self.link_flaps_applied,
             "router_drops": dict(self.router_drops),
+            "control_drops": dict(self.control_drops),
             "peak_queue_depth": self.peak_queue_depth,
             "prefixes_checked": self.prefixes_checked,
             "prefixes_disagreeing": list(self.prefixes_disagreeing),
@@ -275,11 +284,17 @@ class ChaosScenario:
         frames = FaultStatistics()
         for model in self._models:
             frames.merge(model.stats)
+        # local import: control.py imports advertised_prefixes from here
+        from repro.faults.control import control_plane_drops
         router_drops: Dict[str, int] = {}
+        control_drops: Dict[str, int] = {}
         peak_queue = 0
         for router in network.routers.values():
             for reason, count in router.stats.dropped.items():
                 router_drops[reason] = router_drops.get(reason, 0) + count
+            for reason, count in control_plane_drops(router).items():
+                control_drops[reason] = \
+                    control_drops.get(reason, 0) + count
             for card in router.line_cards:
                 peak_queue = max(peak_queue, card.peak_depth)
         prefixes = staleness.prefixes or advertised_prefixes(network)
@@ -305,6 +320,7 @@ class ChaosScenario:
             frames_lost_link_down=network.frames_lost_link_down,
             link_flaps_applied=network.link_flaps_applied,
             router_drops=router_drops,
+            control_drops=control_drops,
             peak_queue_depth=peak_queue,
             prefixes_checked=len(prefixes),
             prefixes_disagreeing=disagreeing,

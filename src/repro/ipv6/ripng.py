@@ -30,6 +30,11 @@ NEXT_HOP_METRIC = 0xFF
 RTE_BYTES = 20
 HEADER_BYTES = 4
 
+#: the most RTEs one message can carry without exceeding the minimum IPv6
+#: MTU (RFC 2080 §2.1: 1280 bytes minus IPv6, UDP, and RIPng headers).
+#: Senders split larger updates; receivers treat anything bigger as hostile.
+MAX_RTES_PER_MESSAGE = (1280 - 40 - 8 - HEADER_BYTES) // RTE_BYTES
+
 # RFC 2080 timer defaults (seconds). The paper notes stabilised-network
 # updates arrive "once in 2 minutes"; the base RFC interval is 30 s with
 # garbage collection after expiry — both are configurable in our engine.

@@ -99,6 +99,8 @@ def run_forwarding(config: ArchitectureConfiguration,
                    verify: bool = True,
                    detect_hazards: bool = False,
                    instrument: Optional[Callable[[Simulator], None]] = None,
+                   program_factory: Optional[
+                       Callable[["RouterMachine"], object]] = None,
                    ) -> ForwardingRunResult:
     """Simulate one batch of datagrams through a fresh machine.
 
@@ -106,11 +108,16 @@ def run_forwarding(config: ArchitectureConfiguration,
     detector (if any) is attached and before the run starts — the seam
     fault injectors and tracers use to hook the datapath without this
     module knowing about them.
+
+    *program_factory* replaces the default tuned program generator —
+    the seam the conformance suite's program mutants use to prove the
+    golden cross-check actually detects a broken datapath.
     """
     if machine is None:
         machine = build_machine(config, table_capacity=max(len(routes), 100))
     machine.load_routes(routes)
-    program = build_forwarding_program(machine, mode=MODE_BENCH)
+    program = program_factory(machine) if program_factory is not None \
+        else build_forwarding_program(machine, mode=MODE_BENCH)
 
     for iface, raw in packets:
         if not machine.offered_load(iface, raw):

@@ -18,12 +18,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.errors import RipngError
+from repro.errors import RipngError, RoutingTableError
 from repro.ipv6.address import Ipv6Address, Ipv6Prefix
 from repro.ipv6.ripng import (
     COMMAND_REQUEST,
     COMMAND_RESPONSE,
     GARBAGE_COLLECTION_S,
+    MAX_RTES_PER_MESSAGE,
     METRIC_INFINITY,
     ROUTE_TIMEOUT_S,
     RipngMessage,
@@ -83,6 +84,12 @@ class RipngEngine:
         self.updates_sent = 0
         self.responses_processed = 0
         self.malformed_dropped = 0
+        #: whole messages refused after a clean parse (reason -> count);
+        #: e.g. an update too large to have fit the minimum IPv6 MTU
+        self.rejected_messages: Dict[str, int] = {}
+        #: individual RTEs refused by validation (reason -> count):
+        #: martian prefixes, non-link-local next hops, table exhaustion
+        self.rejected_rtes: Dict[str, int] = {}
 
     # -- interfaces ----------------------------------------------------------------------
 
@@ -111,7 +118,7 @@ class RipngEngine:
             next_hop=Ipv6Address(0), interface=interface,
             learned_from=None, timeout_at=None)
         self.routes[prefix] = route
-        self._install(route)
+        self._install_configured(route)
 
     def originate(self, prefix: Ipv6Prefix, interface: int,
                   metric: int = 1) -> None:
@@ -120,7 +127,15 @@ class RipngEngine:
                            next_hop=Ipv6Address(0), interface=interface,
                            learned_from=None, timeout_at=None)
         self.routes[prefix] = route
-        self._install(route)
+        self._install_configured(route)
+
+    def _install_configured(self, route: RipngRoute) -> None:
+        # a connected/static route that doesn't fit is a configuration
+        # error, not hostile input — it must fail loudly, not be shed
+        self.table.insert(RouteEntry(
+            prefix=route.prefix, next_hop=route.next_hop,
+            interface=route.interface, metric=route.metric,
+            route_tag=route.route_tag))
 
     # -- inbound -----------------------------------------------------------------------
 
@@ -131,24 +146,48 @@ class RipngEngine:
         A malformed payload (truncated header, ragged RTE body, invalid
         metric...) is counted in :attr:`malformed_dropped` and otherwise
         ignored — a routing daemon must survive garbage on port 521, not
-        take the simulation down with it.
+        take the simulation down with it. A payload that parses but fails
+        semantic validation is refused into :attr:`rejected_messages`
+        (whole message) or :attr:`rejected_rtes` (single entries); no
+        hostile entry ever reaches the routing table past these checks.
         """
         try:
             message = RipngMessage.from_bytes(payload)
-            if message.command == COMMAND_REQUEST:
-                return self._handle_request(message, interface)
-            # from_bytes only admits REQUEST or RESPONSE commands
-            self._handle_response(message, sender, interface, now)
-            return []
         except RipngError:
             self.malformed_dropped += 1
             return []
+        if len(message.entries) > MAX_RTES_PER_MESSAGE:
+            # could never have crossed a real link inside the minimum MTU
+            self._reject_message("oversized")
+            return []
+        if message.command == COMMAND_REQUEST:
+            return self._handle_request(message, interface)
+        # from_bytes only admits REQUEST or RESPONSE commands
+        self._handle_response(message, sender, interface, now)
+        return []
+
+    def _reject_message(self, reason: str) -> None:
+        self.rejected_messages[reason] = \
+            self.rejected_messages.get(reason, 0) + 1
+
+    def _reject_rte(self, reason: str) -> None:
+        self.rejected_rtes[reason] = self.rejected_rtes.get(reason, 0) + 1
+
+    @staticmethod
+    def _is_martian(prefix: Ipv6Prefix) -> bool:
+        """Prefixes no RIPng neighbour may legitimately advertise:
+        multicast, loopback, link-local, and non-default unspecified."""
+        network = prefix.network
+        return (network.is_multicast()
+                or network.is_loopback()
+                or network.is_link_local()
+                or (network.is_unspecified() and prefix.length > 0))
 
     def _handle_request(self, message: RipngMessage,
                         interface: int) -> List[OutboundMessage]:
         if is_full_table_request(message):
             entries = self._export_entries(interface)
-            return [(interface, response(entries).to_bytes())]
+            return self._chunked(interface, entries)
         # specific-prefix request: answer with our metric (or infinity)
         answers: List[RouteTableEntry] = []
         for entry, _next_hop in message.routes():
@@ -157,14 +196,31 @@ class RipngEngine:
                 else METRIC_INFINITY
             answers.append(RouteTableEntry(prefix=entry.prefix,
                                            metric=metric))
-        if not answers:
-            return []
-        return [(interface, response(answers).to_bytes())]
+        return self._chunked(interface, answers)
+
+    @staticmethod
+    def _chunked(interface: int,
+                 entries: List[RouteTableEntry]) -> List[OutboundMessage]:
+        """Split an update so each message fits the minimum IPv6 MTU —
+        the same bound receivers enforce against hostile oversized bursts."""
+        return [(interface,
+                 response(entries[i:i + MAX_RTES_PER_MESSAGE]).to_bytes())
+                for i in range(0, len(entries), MAX_RTES_PER_MESSAGE)]
 
     def _handle_response(self, message: RipngMessage, sender: Ipv6Address,
                          interface: int, now: float) -> None:
         self.responses_processed += 1
         for entry, explicit_next_hop in message.routes():
+            if self._is_martian(entry.prefix):
+                self._reject_rte("martian-prefix")
+                continue
+            if explicit_next_hop is not None and \
+                    not explicit_next_hop.is_link_local():
+                # RFC 2080 §2.1.1: a next hop must be link-local; a global
+                # one is a redirection attack surface, so refuse the RTE
+                # entirely rather than falling back to the sender
+                self._reject_rte("bad-next-hop")
+                continue
             next_hop = explicit_next_hop or sender
             metric = min(entry.metric + 1, METRIC_INFINITY)
             self._consider(entry.prefix, metric, next_hop, interface,
@@ -187,7 +243,9 @@ class RipngEngine:
                                timeout_at=now + self.route_timeout,
                                route_tag=route_tag)
             self.routes[prefix] = route
-            self._install(route)
+            if not self._install(route):
+                del self.routes[prefix]  # roll back: engine mirrors table
+                return
             self._pending_triggered = True
             return
         if from_current_gateway:
@@ -203,7 +261,8 @@ class RipngEngine:
                     current.garbage_at = None
                     current.next_hop = next_hop
                     current.interface = interface
-                    self._install(current)
+                    if not self._install(current):
+                        self._start_deletion(current, now)
         elif metric < current.metric and metric < METRIC_INFINITY:
             current.metric = metric
             current.next_hop = next_hop
@@ -212,7 +271,9 @@ class RipngEngine:
             current.timeout_at = now + self.route_timeout
             current.garbage_at = None
             current.changed = True
-            self._install(current)
+            if not self._install(current):
+                self._start_deletion(current, now)
+                return
             self._pending_triggered = True
 
     # -- timers / outbound ------------------------------------------------------------------
@@ -264,7 +325,7 @@ class RipngEngine:
             entries = self._export_entries(interface,
                                            changed_only=changed_only)
             if entries:
-                out.append((interface, response(entries).to_bytes()))
+                out.extend(self._chunked(interface, entries))
         for route in self.routes.values():
             route.changed = False
         if out:
@@ -291,11 +352,21 @@ class RipngEngine:
 
     # -- table integration -------------------------------------------------------------------
 
-    def _install(self, route: RipngRoute) -> None:
-        self.table.insert(RouteEntry(
-            prefix=route.prefix, next_hop=route.next_hop,
-            interface=route.interface, metric=route.metric,
-            route_tag=route.route_tag))
+    def _install(self, route: RipngRoute) -> bool:
+        """Insert into the routing table; False if the table refused it.
+
+        A full table is not an engine crash: the RTE is rejected and
+        counted, mirroring how a hardware FIB sheds excess routes.
+        """
+        try:
+            self.table.insert(RouteEntry(
+                prefix=route.prefix, next_hop=route.next_hop,
+                interface=route.interface, metric=route.metric,
+                route_tag=route.route_tag))
+        except RoutingTableError:
+            self._reject_rte("table-full")
+            return False
+        return True
 
     def active_routes(self) -> List[RipngRoute]:
         return [r for r in self.routes.values() if not r.expired]

@@ -27,6 +27,7 @@ from repro.ipv6.packet import (
 )
 from repro.ipv6.ripng import RIPNG_MULTICAST_GROUP, RIPNG_PORT
 from repro.ipv6.udp import UdpDatagram
+from repro.obs import get_registry
 from repro.router.linecard import LineCard
 from repro.router.ripng_engine import RipngEngine
 from repro.routing import make_table
@@ -36,6 +37,12 @@ from repro.routing.entry import RouteEntry
 ICMP_HOP_LIMIT = 64
 
 
+def _dict_delta(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:
+    """Per-key increase between two counter snapshots."""
+    return {key: after[key] - before.get(key, 0)
+            for key in after if after[key] > before.get(key, 0)}
+
+
 @dataclass
 class RouterStatistics:
     received: int = 0
@@ -43,13 +50,27 @@ class RouterStatistics:
     delivered_local: int = 0
     ripng_messages: int = 0
     dropped: Dict[str, int] = field(default_factory=dict)
+    #: RTE-level control-plane rejections (reason -> count). These are
+    #: sub-message events: the carrying datagram still counts as one
+    #: ``ripng_messages``, so they sit outside the per-datagram
+    #: accounting identity received == forwarded + delivered_local
+    #: + ripng_messages + total_dropped.
+    control_rejected: Dict[str, int] = field(default_factory=dict)
 
-    def drop(self, reason: str) -> None:
-        self.dropped[reason] = self.dropped.get(reason, 0) + 1
+    def drop(self, reason: str, count: int = 1) -> None:
+        self.dropped[reason] = self.dropped.get(reason, 0) + count
+
+    def reject_control(self, reason: str, count: int = 1) -> None:
+        self.control_rejected[reason] = \
+            self.control_rejected.get(reason, 0) + count
 
     @property
     def total_dropped(self) -> int:
         return sum(self.dropped.values())
+
+    @property
+    def total_control_rejected(self) -> int:
+        return sum(self.control_rejected.values())
 
 
 class Ipv6Router:
@@ -100,10 +121,13 @@ class Ipv6Router:
         self.stats.received += 1
         failure = validate_for_forwarding(raw)
         if failure is ValidationFailure.HOP_LIMIT_EXCEEDED:
-            self._icmp_error(interface, raw, kind="time-exceeded")
-            self.stats.drop(failure.value)
-            return
-        if failure is not None and not self._is_local_delivery(raw):
+            # hop limit only gates *forwarding* (RFC 2460 §8.2): a packet
+            # addressed to this router is still delivered locally below
+            if not self._is_local_delivery(raw):
+                self._icmp_error(interface, raw, kind="time-exceeded")
+                self.stats.drop(failure.value)
+                return
+        elif failure is not None and not self._is_local_delivery(raw):
             self.stats.drop(failure.value)
             return
 
@@ -171,19 +195,61 @@ class Ipv6Router:
                 self.stats.drop("bad-udp")
                 return
             if udp.destination_port == RIPNG_PORT:
-                malformed_before = self.ripng.malformed_dropped
-                replies = self.ripng.receive(
-                    udp.payload, sender=datagram.header.source,
-                    interface=interface, now=now)
-                if self.ripng.malformed_dropped != malformed_before:
-                    self.stats.drop("bad-ripng")
-                    return
-                self.stats.ripng_messages += 1
-                for out_interface, message in replies:
-                    self._send_ripng(out_interface, message,
-                                     unicast_to=datagram.header.source)
+                self._receive_ripng(interface, datagram, udp, now)
                 return
         self.stats.delivered_local += 1
+
+    def _receive_ripng(self, interface: int, datagram: Ipv6Datagram,
+                       udp: UdpDatagram, now: float) -> None:
+        """Feed one RIPng datagram to the engine, surfacing its verdicts.
+
+        Whole-message refusals become ``dropped`` entries (the datagram
+        died); RTE-level refusals are mirrored into
+        :attr:`RouterStatistics.control_rejected` — the datagram itself
+        was processed, only some of its routes were refused. Both are
+        published as ``ripng_rejected_total`` observability counters.
+        """
+        assert self.ripng is not None
+        sender = datagram.header.source
+        if sender in self.interface_addresses:
+            # our own multicast update looped back (or was spoofed with
+            # our address): processing it would corrupt split horizon
+            self.stats.drop("ripng-own-source")
+            self._count_rejections({"own-source": 1})
+            return
+        malformed_before = self.ripng.malformed_dropped
+        messages_before = dict(self.ripng.rejected_messages)
+        rtes_before = dict(self.ripng.rejected_rtes)
+        replies = self.ripng.receive(udp.payload, sender=sender,
+                                     interface=interface, now=now)
+        if self.ripng.malformed_dropped != malformed_before:
+            self.stats.drop("bad-ripng")
+            self._count_rejections({"malformed": 1})
+            return
+        message_deltas = _dict_delta(messages_before,
+                                     self.ripng.rejected_messages)
+        if message_deltas:
+            for reason, count in message_deltas.items():
+                self.stats.drop(f"ripng-{reason}", count)
+            self._count_rejections(message_deltas)
+            return
+        rte_deltas = _dict_delta(rtes_before, self.ripng.rejected_rtes)
+        for reason, count in rte_deltas.items():
+            self.stats.reject_control(reason, count)
+        self._count_rejections(rte_deltas)
+        self.stats.ripng_messages += 1
+        for out_interface, message in replies:
+            self._send_ripng(out_interface, message, unicast_to=sender)
+
+    def _count_rejections(self, deltas: Dict[str, int]) -> None:
+        if not deltas:
+            return
+        counter = get_registry().counter(
+            "ripng_rejected_total",
+            "Hostile or invalid RIPng input refused, by reason",
+            labels=("router", "reason"))
+        for reason, count in deltas.items():
+            counter.inc(count, router=self.name, reason=reason)
 
     def _send_ripng(self, interface: int, message_bytes: bytes,
                     unicast_to: Optional[Ipv6Address] = None) -> None:

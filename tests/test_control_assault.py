@@ -1,0 +1,185 @@
+"""Adversarial RIPng: the graceful-degradation contract under attack.
+
+The control plane must treat port 521 as hostile input: malformed,
+martian, spoofed-next-hop, withdrawal and oversized advertisements are
+refused and *counted* — never installed, never raised — and the network
+re-converges on its legitimate routes once the attacker stops.
+"""
+
+import pytest
+
+from repro.errors import FaultInjectionError, RipngError
+from repro.faults.control import (
+    ATTACK_KINDS,
+    AdversarialRipngAdvertiser,
+    ControlPlaneAssault,
+    control_plane_drops,
+)
+from repro.ipv6.address import Ipv6Address, Ipv6Prefix
+from repro.ipv6.packet import Ipv6Datagram
+from repro.ipv6.ripng import (
+    MAX_RTES_PER_MESSAGE,
+    METRIC_INFINITY,
+    RipngMessage,
+    RouteTableEntry,
+    response,
+)
+from repro.ipv6.udp import UdpDatagram
+from repro.router.network import line_topology
+from repro.router.ripng_engine import RipngEngine
+from repro.routing import make_table
+
+GW = Ipv6Address.parse("fe80::1")
+
+
+class TestAdvertiser:
+    def test_all_kinds_build_parseable_ipv6(self):
+        advertiser = AdversarialRipngAdvertiser()
+        for kind in ATTACK_KINDS:
+            for raw in advertiser.datagrams(kind, 3):
+                datagram = Ipv6Datagram.from_bytes(raw)
+                assert datagram.header.hop_limit == 255
+        assert advertiser.sent == {kind: 3 for kind in ATTACK_KINDS}
+
+    def test_same_seed_same_bytes(self):
+        first = AdversarialRipngAdvertiser(seed=9)
+        second = AdversarialRipngAdvertiser(seed=9)
+        for kind in ATTACK_KINDS:
+            assert first.datagrams(kind, 5) == second.datagrams(kind, 5)
+
+    def test_malformed_payloads_fail_the_parser(self):
+        advertiser = AdversarialRipngAdvertiser()
+        rejected = 0
+        for raw in advertiser.datagrams("malformed", 12):
+            datagram = Ipv6Datagram.from_bytes(raw)
+            udp = UdpDatagram.from_bytes(
+                datagram.payload, datagram.header.source,
+                datagram.header.destination, verify=False)
+            try:
+                RipngMessage.from_bytes(udp.payload)
+            except RipngError:
+                rejected += 1
+        assert rejected > 0
+
+    def test_oversized_exceeds_the_rte_budget(self):
+        advertiser = AdversarialRipngAdvertiser()
+        raw = advertiser.datagrams("oversized", 1)[0]
+        datagram = Ipv6Datagram.from_bytes(raw)
+        udp = UdpDatagram.from_bytes(
+            datagram.payload, datagram.header.source,
+            datagram.header.destination, verify=False)
+        message = RipngMessage.from_bytes(udp.payload)
+        assert len(message.entries) > MAX_RTES_PER_MESSAGE
+
+    def test_unknown_kind_is_an_error(self):
+        with pytest.raises(FaultInjectionError):
+            AdversarialRipngAdvertiser().datagrams("zero-day", 1)
+
+
+class TestEngineRefusals:
+    """The per-RTE validation the assault leans on, pinned directly."""
+
+    def make_engine(self, capacity=64):
+        return RipngEngine("r", make_table("balanced-tree",
+                                           capacity=capacity),
+                           interface_count=2)
+
+    def feed(self, engine, entries, sender=GW):
+        engine.receive(response(entries).to_bytes(), sender=sender,
+                       interface=0, now=0.0)
+
+    def test_martian_prefixes_are_refused(self):
+        engine = self.make_engine()
+        for text in ("ff02::/16", "::1/128", "fe80::/10"):
+            self.feed(engine, [RouteTableEntry(
+                prefix=Ipv6Prefix.parse(text), metric=1)])
+        assert engine.rejected_rtes["martian-prefix"] == 3
+        assert not engine.routes
+
+    def test_oversized_message_is_refused_whole(self):
+        engine = self.make_engine()
+        entries = [RouteTableEntry(
+            prefix=Ipv6Prefix.parse(f"2001:db8:{i:x}::/48"), metric=1)
+            for i in range(MAX_RTES_PER_MESSAGE + 1)]
+        self.feed(engine, entries)
+        assert engine.rejected_messages["oversized"] == 1
+        assert not engine.routes
+
+    def test_table_capacity_exhaustion_is_counted_not_raised(self):
+        engine = self.make_engine(capacity=2)
+        for i in range(5):
+            self.feed(engine, [RouteTableEntry(
+                prefix=Ipv6Prefix.parse(f"2001:db8:{i:x}::/48"),
+                metric=1)])
+        assert engine.rejected_rtes["table-full"] == 3
+        assert len(engine.routes) == 2
+
+    def test_infinity_for_unknown_prefix_installs_nothing(self):
+        engine = self.make_engine()
+        self.feed(engine, [RouteTableEntry(
+            prefix=Ipv6Prefix.parse("2001:db8:66::/48"),
+            metric=METRIC_INFINITY)])
+        assert not engine.routes
+
+
+class TestAssaultCampaign:
+    def test_line_topology_degrades_gracefully(self):
+        network = line_topology(4)
+        report = ControlPlaneAssault(network, attack_rounds=20,
+                                     burst_per_round=2).run()
+        assert report.passed, report.render()
+        assert report.exceptions == []
+        assert report.poisoned_installed == []
+        assert report.prefixes_lost == []
+        assert report.reconverged
+        assert report.total_injected == 20 * 2
+        # the attack is *visible*: each kind left a drop counter trail
+        assert report.total_drops > 0
+        assert any(key.startswith("rte-") for key in report.drops)
+        assert "bad-ripng" in report.drops
+
+    def test_same_seed_same_outcome(self):
+        first = ControlPlaneAssault(line_topology(3), seed=5,
+                                    attack_rounds=8).run()
+        second = ControlPlaneAssault(line_topology(3), seed=5,
+                                     attack_rounds=8).run()
+        assert first.injected == second.injected
+        assert first.drops == second.drops
+
+    def test_assault_is_one_shot(self):
+        assault = ControlPlaneAssault(line_topology(3), attack_rounds=2)
+        assault.run()
+        with pytest.raises(FaultInjectionError):
+            assault.run()
+
+    def test_report_serialises(self):
+        report = ControlPlaneAssault(line_topology(3), attack_rounds=4,
+                                     kinds=("martian",)).run()
+        document = report.to_dict()
+        assert document["passed"] == report.passed
+        assert document["injected"]["martian"] == 8
+        assert sum(document["injected"].values()) == 8
+        assert "martian" in report.render() or "injected" in \
+            report.render()
+
+
+class TestDropVisibility:
+    def test_control_plane_drops_merges_router_counters(self):
+        network = line_topology(2)
+        network.run_until_converged()
+        router = network.routers["r0"]
+        router.stats.drop("bad-ripng", 2)
+        router.stats.reject_control("martian-prefix", 3)
+        drops = control_plane_drops(router)
+        assert drops["bad-ripng"] == 2
+        assert drops["rte-martian-prefix"] == 3
+
+    def test_resilience_report_carries_control_drops(self):
+        from repro.faults.scenario import ChaosScenario
+
+        scenario = ChaosScenario.uniform(line_topology(3), seed=1,
+                                         corrupt=0.05,
+                                         chaos_seconds=120.0)
+        report = scenario.run()
+        assert isinstance(report.control_drops, dict)
+        assert "control_drops" in report.to_dict()

@@ -1,0 +1,153 @@
+"""RIPng robustness under single-bit (and burst) corruption.
+
+Same contract the IPv6 parser is held to (test_ipv6_bitflip_fuzz):
+every corrupted payload must either parse cleanly or raise
+:class:`~repro.errors.RipngError` — never an ``IndexError``,
+``struct.error`` or interpreter-level escape — and the distance-vector
+engine above the parser must *never* raise at all: garbage on port 521
+is counted and ignored, and no corrupted entry may reach the routing
+table as anything but a validated route.
+"""
+
+import pytest
+
+from repro.errors import RipngError
+from repro.faults.seeds import make_rng
+from repro.ipv6.address import Ipv6Address, Ipv6Prefix
+from repro.ipv6.ripng import (
+    METRIC_INFINITY,
+    NextHopEntry,
+    RipngMessage,
+    RouteTableEntry,
+    request_full_table,
+    response,
+)
+from repro.router.ripng_engine import RipngEngine
+from repro.routing import make_table
+
+GW = Ipv6Address.parse("fe80::1")
+
+
+def corpus():
+    """Valid RIPng payloads of different shapes."""
+    single = response([RouteTableEntry(
+        prefix=Ipv6Prefix.parse("2001:aa::/32"), metric=3)]).to_bytes()
+    multi = response([
+        NextHopEntry(next_hop=Ipv6Address.parse("fe80::c")),
+        RouteTableEntry(prefix=Ipv6Prefix.parse("2001:bb::/32"),
+                        metric=1, route_tag=7),
+        RouteTableEntry(prefix=Ipv6Prefix.parse("2001:cc::/48"),
+                        metric=METRIC_INFINITY),
+    ]).to_bytes()
+    request = request_full_table().to_bytes()
+    return [single, multi, request]
+
+
+def flip_bit(raw: bytes, bit: int) -> bytes:
+    data = bytearray(raw)
+    data[bit // 8] ^= 1 << (bit % 8)
+    return bytes(data)
+
+
+class TestParserSingleBitFlips:
+    """Exhaustive: every single-bit corruption of every corpus payload."""
+
+    @pytest.mark.parametrize("index", range(3))
+    def test_parse_never_escapes_the_error_contract(self, index):
+        raw = corpus()[index]
+        for bit in range(len(raw) * 8):
+            corrupted = flip_bit(raw, bit)
+            try:
+                message = RipngMessage.from_bytes(corrupted)
+            except RipngError:
+                continue
+            # a parse that succeeded must be stable under round-trip
+            again = RipngMessage.from_bytes(message.to_bytes())
+            assert again == message, f"bit {bit}: reparse diverged"
+
+    def test_some_flips_parse_and_some_are_rejected(self):
+        raw = corpus()[0]
+        verdicts = set()
+        for bit in range(len(raw) * 8):
+            try:
+                RipngMessage.from_bytes(flip_bit(raw, bit))
+                verdicts.add("parsed")
+            except RipngError:
+                verdicts.add("rejected")
+        assert verdicts == {"parsed", "rejected"}
+
+    def test_truncations_are_rejected_not_crashed(self):
+        raw = corpus()[1]
+        for length in range(len(raw)):
+            try:
+                RipngMessage.from_bytes(raw[:length])
+            except RipngError:
+                continue
+
+
+class TestParserBurstCorruption:
+    def test_seeded_multi_byte_bursts(self):
+        rng = make_rng(2080)
+        for raw in corpus():
+            for _ in range(150):
+                data = bytearray(raw)
+                for _ in range(rng.randrange(2, 9)):
+                    data[rng.randrange(len(data))] = rng.randrange(256)
+                try:
+                    message = RipngMessage.from_bytes(bytes(data))
+                except RipngError:
+                    continue
+                assert RipngMessage.from_bytes(message.to_bytes()) == message
+
+
+class TestEngineUnderCorruption:
+    """The engine's receive path must count garbage, never raise."""
+
+    def make_engine(self):
+        engine = RipngEngine("r", make_table("balanced-tree", capacity=64),
+                             interface_count=2)
+        engine.add_connected(Ipv6Address.parse("2001:db8:0:1::1"), 0)
+        return engine
+
+    def engine_accounting(self, engine):
+        return (engine.malformed_dropped
+                + sum(engine.rejected_messages.values())
+                + sum(engine.rejected_rtes.values()))
+
+    def test_single_bit_flips_never_crash_the_engine(self):
+        engine = self.make_engine()
+        for raw in corpus():
+            for bit in range(len(raw) * 8):
+                engine.receive(flip_bit(raw, bit), sender=GW,
+                               interface=0, now=0.0)
+        # whatever was installed survived full semantic validation
+        for prefix, route in engine.routes.items():
+            assert not prefix.network.is_multicast()
+            assert not prefix.network.is_loopback()
+            assert 1 <= route.metric <= METRIC_INFINITY
+
+    def test_burst_corruption_is_counted_not_raised(self):
+        engine = self.make_engine()
+        rng = make_rng(17)
+        raw = corpus()[1]
+        for _ in range(300):
+            data = bytearray(raw)
+            for _ in range(rng.randrange(1, 12)):
+                data[rng.randrange(len(data))] = rng.randrange(256)
+            engine.receive(bytes(data), sender=GW, interface=0, now=0.0)
+        # at least some of 300 random bursts must have been refused,
+        # and each refusal must be visible in a counter
+        assert self.engine_accounting(engine) > 0
+
+    def test_malformed_counter_matches_parse_failures(self):
+        engine = self.make_engine()
+        raw = corpus()[0]
+        parse_failures = 0
+        for bit in range(len(raw) * 8):
+            corrupted = flip_bit(raw, bit)
+            try:
+                RipngMessage.from_bytes(corrupted)
+            except RipngError:
+                parse_failures += 1
+            engine.receive(corrupted, sender=GW, interface=0, now=0.0)
+        assert engine.malformed_dropped == parse_failures
