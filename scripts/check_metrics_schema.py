@@ -69,21 +69,29 @@ def _validate(instance, schema, root, path="$"):
     return errors
 
 
+#: (counter name, label name, definitions key) triples the structural
+#: pass cannot express: every such label value must be in the enum
+_LABEL_DOMAINS = (
+    ("sdc_outcomes_total", "outcome", "sdc_outcome"),
+    ("service_jobs_total", "state", "job_state"),
+    ("service_cache_requests_total", "result", "cache_result"),
+)
+
+
 def _check_outcome_labels(metrics: dict, schema: dict) -> list:
-    """Domain check the structural pass cannot express: every ``outcome``
-    label on the ``sdc_outcomes_total`` counter must be one of the
-    oracle classifications enumerated in ``definitions.sdc_outcome``."""
-    allowed = set(schema["definitions"]["sdc_outcome"]["enum"])
-    counter = metrics.get("counters", {}).get("sdc_outcomes_total")
-    if not isinstance(counter, dict):
-        return []
+    """Domain-check enumerated label values against their definitions."""
     errors = []
-    for i, entry in enumerate(counter.get("values", [])):
-        outcome = entry.get("labels", {}).get("outcome")
-        if outcome not in allowed:
-            errors.append(
-                f"$.counters.sdc_outcomes_total.values[{i}]: outcome "
-                f"{outcome!r} is not one of {sorted(allowed)}")
+    for counter_name, label, definition in _LABEL_DOMAINS:
+        allowed = set(schema["definitions"][definition]["enum"])
+        counter = metrics.get("counters", {}).get(counter_name)
+        if not isinstance(counter, dict):
+            continue
+        for i, entry in enumerate(counter.get("values", [])):
+            value = entry.get("labels", {}).get(label)
+            if value not in allowed:
+                errors.append(
+                    f"$.counters.{counter_name}.values[{i}]: {label} "
+                    f"{value!r} is not one of {sorted(allowed)}")
     return errors
 
 

@@ -67,6 +67,13 @@ from repro.pcap import ReplayReport, read_pcap
 from repro.pcap import replay as _replay
 from repro.obs import MetricsRegistry, get_registry, render_snapshot
 from repro.router.network import line_topology, ring_topology
+from repro.service import (
+    CampaignService,
+    JobRecord,
+    ServiceChaosReport,
+    SupervisionPolicy,
+    run_service_chaos,
+)
 
 __all__ = [
     "evaluate",
@@ -77,11 +84,14 @@ __all__ = [
     "run_assault",
     "run_chaos",
     "sdc_sweep",
+    "campaign_service",
+    "service_chaos",
     "metrics",
     "metrics_registry",
     "render_metrics",
     "render_table1",
     "ArchitectureConfiguration",
+    "CampaignService",
     "DesignConstraints",
     "DesignSpace",
     "EvaluationResult",
@@ -89,9 +99,12 @@ __all__ = [
     "FlapSchedule",
     "AssaultReport",
     "ConformanceReport",
+    "JobRecord",
     "ReplayReport",
     "ResilienceReport",
     "SdcSweepResult",
+    "ServiceChaosReport",
+    "SupervisionPolicy",
     "Table1Row",
 ]
 
@@ -313,6 +326,57 @@ def sdc_sweep(configs, *,
         trials=trials, rate=rate, seed=seed, max_faults=max_faults,
         jobs=jobs, journal_path=journal, resume=resume)
     return runner.run(list(configs))
+
+
+def campaign_service(root: str, *,
+                     jobs: int = 1,
+                     cache: bool = True,
+                     heartbeat: Optional[float] = 30.0,
+                     job_timeout: Optional[float] = None,
+                     min_jobs: int = 1,
+                     seed: int = 0) -> CampaignService:
+    """Open (or create) the self-healing campaign service at *root*.
+
+    The async-style flow::
+
+        svc = api.campaign_service("/tmp/dse", jobs=4)
+        job_id = svc.submit({"kind": "table1", "entries": 100,
+                             "packets": 12})
+        svc.run_pending()               # or: repro serve --root /tmp/dse
+        print(svc.poll(job_id))         # progress while running
+        document = svc.fetch(job_id)    # completed result + render
+
+    Jobs execute under supervision (worker heartbeats, stall teardown,
+    pool degradation, capped backoff) against a SHA-256
+    integrity-checked evaluation cache shared across jobs; a service
+    that crashes mid-job recovers on the next start and *resumes* from
+    the job's journal — fetched results are byte-identical to an
+    uninterrupted sequential run.
+    """
+    return CampaignService(
+        root, jobs=jobs, cache=cache, seed=seed,
+        supervision=SupervisionPolicy(heartbeat_seconds=heartbeat,
+                                      job_timeout_seconds=job_timeout,
+                                      min_jobs=min_jobs))
+
+
+def service_chaos(root: Optional[str] = None, *,
+                  entries: int = 10,
+                  packets: int = 2,
+                  jobs: int = 2,
+                  seed: int = 0) -> ServiceChaosReport:
+    """Run the service-level chaos campaign (see
+    :mod:`repro.service.chaos`): worker kills, stalls past the heartbeat
+    deadline, cache corruption/truncation, and a service crash/restart
+    mid-job — each phase asserting recovery to byte-identical results
+    against a clean sequential run, plus a warm-cache speedup floor.
+    *root* defaults to a fresh temporary directory.
+    """
+    if root is None:
+        import tempfile
+        root = tempfile.mkdtemp(prefix="repro-service-chaos-")
+    return run_service_chaos(root, entries=entries, packets=packets,
+                             jobs=jobs, seed=seed)
 
 
 def metrics(*, reset: bool = False) -> dict:

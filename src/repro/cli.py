@@ -10,6 +10,15 @@ Subcommands:
 * ``sdc`` — datapath soft-error sweep: seeded bit flips in bus
   transfers/FU latches/socket decodes, each trial classified against the
   fault-free golden run (masked/detected/sdc/crash/hang);
+* ``submit`` — enqueue a campaign plan on the self-healing service
+  (spool directory; prints the job id);
+* ``serve`` — recover and drain the service's queued jobs under
+  supervision (heartbeats, stall teardown, pool degradation, evaluation
+  cache);
+* ``jobs`` — list/poll service jobs, or fetch a completed result;
+* ``service-chaos`` — the service-level chaos campaign: worker kills,
+  stalls, cache corruption and a service crash/restart, each asserting
+  recovery to byte-identical results;
 * ``metrics`` — render a metrics snapshot (live, or the ``metrics``
   section of a saved ``--output`` JSON) as a table.
 
@@ -86,6 +95,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_describe(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
+    if args.command in ("submit", "serve", "jobs", "service-chaos"):
+        from repro.errors import ServiceError
+        handler = {"submit": _cmd_submit, "serve": _cmd_serve,
+                   "jobs": _cmd_jobs,
+                   "service-chaos": _cmd_service_chaos}[args.command]
+        try:
+            return handler(args)
+        except ServiceError as exc:
+            print(f"service error: {exc}", file=sys.stderr)
+            return 2
     parser.print_help()
     return 2
 
@@ -244,6 +263,63 @@ def _build_parser() -> argparse.ArgumentParser:
                       choices=("sequential", "balanced-tree", "cam"))
     desc.add_argument("--format", dest="fmt", default="text",
                       choices=("text", "dot"))
+
+    submit = sub.add_parser(
+        "submit", help="enqueue a campaign plan on the service")
+    submit.add_argument("--root", required=True, metavar="DIR",
+                        help="service spool directory (created if absent)")
+    submit.add_argument("--plan", default=None, metavar="JSON",
+                        help="full plan document, e.g. "
+                             "'{\"kind\": \"table1\", \"entries\": 50}'")
+    submit.add_argument("--entries", type=int, default=100)
+    submit.add_argument("--packets", type=int, default=12)
+    submit.add_argument("--hazards", action="store_true")
+
+    serve = sub.add_parser(
+        "serve", help="recover and drain the service's queued jobs")
+    serve.add_argument("--root", required=True, metavar="DIR",
+                       help="service spool directory")
+    serve.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker-pool size per campaign (default 1)")
+    serve.add_argument("--heartbeat", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="stall deadline: longest tolerated silence "
+                            "with zero chunk completions (default 30)")
+    serve.add_argument("--job-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock ceiling per job (progress is "
+                            "journalled; a resubmit resumes)")
+    serve.add_argument("--min-jobs", type=int, default=1, metavar="N",
+                       help="pool-degradation floor (default 1)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the shared evaluation cache")
+    serve.add_argument("--max-jobs", type=int, default=None, metavar="N",
+                       help="execute at most N queued jobs, then exit")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="backoff-jitter seed")
+
+    jobs = sub.add_parser(
+        "jobs", help="list, poll, or fetch service jobs")
+    jobs.add_argument("--root", required=True, metavar="DIR",
+                      help="service spool directory")
+    jobs.add_argument("--poll", default=None, metavar="JOB_ID",
+                      help="print one job's point-in-time progress")
+    jobs.add_argument("--fetch", default=None, metavar="JOB_ID",
+                      help="print a completed job's rendered result")
+    _add_output_argument(jobs)
+
+    schaos = sub.add_parser(
+        "service-chaos",
+        help="service-level chaos campaign (kills, stalls, corruption, "
+             "crash/restart)")
+    schaos.add_argument("--root", default=None, metavar="DIR",
+                        help="scratch directory (default: a fresh "
+                             "temporary directory)")
+    schaos.add_argument("--entries", type=int, default=10)
+    schaos.add_argument("--packets", type=int, default=2)
+    schaos.add_argument("--jobs", type=int, default=2, metavar="N")
+    schaos.add_argument("--seed", type=int, default=0)
+    _add_output_argument(schaos)
 
     metrics = sub.add_parser(
         "metrics", help="render a metrics snapshot as a table")
@@ -555,6 +631,77 @@ def _cmd_assault(args: argparse.Namespace) -> int:
     except ReproError as exc:
         print(f"assault failed to run: {exc}", file=sys.stderr)
         return 2
+    print(report.render())
+    if args.output:
+        _write_json(args.output, report.to_dict())
+    return 0 if report.passed else 1
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro import api
+
+    if args.plan is not None:
+        try:
+            plan = json.loads(args.plan)
+        except ValueError as exc:
+            print(f"--plan is not valid JSON: {exc}", file=sys.stderr)
+            return 2
+    else:
+        plan = {"kind": "table1", "entries": args.entries,
+                "packets": args.packets, "hazards": args.hazards}
+    service = api.campaign_service(args.root)
+    job_id = service.submit(plan)
+    print(job_id)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro import api
+
+    service = api.campaign_service(
+        args.root, jobs=args.jobs, cache=not args.no_cache,
+        heartbeat=args.heartbeat, job_timeout=args.job_timeout,
+        min_jobs=args.min_jobs, seed=args.seed)
+    recovered = service.recover()
+    for job_id in recovered:
+        print(f"recovered {job_id} (was running; will resume from its "
+              f"journal)", file=sys.stderr)
+    executed = service.run_pending(max_jobs=args.max_jobs)
+    for job in executed:
+        print(job.render())
+    if not executed:
+        print("(queue empty)")
+    return 3 if any(job.state != "completed" for job in executed) else 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro import api
+
+    service = api.campaign_service(args.root)
+    if args.poll:
+        progress = service.poll(args.poll)
+        print(json.dumps(progress, indent=2, sort_keys=True))
+        return 0
+    if args.fetch:
+        document = service.fetch(args.fetch)
+        print(document["render"])
+        if args.output:
+            _write_json(args.output, document)
+        return 0
+    jobs = service.list_jobs()
+    for job in jobs:
+        print(job.render())
+    if not jobs:
+        print("(no jobs)")
+    return 0
+
+
+def _cmd_service_chaos(args: argparse.Namespace) -> int:
+    from repro import api
+
+    report = api.service_chaos(args.root, entries=args.entries,
+                               packets=args.packets, jobs=args.jobs,
+                               seed=args.seed)
     print(report.render())
     if args.output:
         _write_json(args.output, report.to_dict())

@@ -13,6 +13,7 @@ from repro.dse.campaign import (
     load_journal,
     run_table1_campaign,
     write_atomic,
+    write_atomic_bytes,
 )
 from repro.dse.config import (
     ArchitectureConfiguration,
@@ -56,7 +57,7 @@ from repro.dse.table1 import (
 __all__ = [
     "CampaignPolicy", "CampaignResult", "CampaignRunner",
     "EvaluationFailure", "PoisonedEvaluator", "load_journal",
-    "run_table1_campaign", "write_atomic",
+    "run_table1_campaign", "write_atomic", "write_atomic_bytes",
     "config_from_dict", "config_key", "config_to_dict", "evaluate_guarded",
     "ArchitectureConfiguration", "PAPER_CONFIGURATIONS",
     "paper_configurations",

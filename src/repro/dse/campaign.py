@@ -89,14 +89,19 @@ def config_key(config: ArchitectureConfiguration) -> str:
 # -- journal I/O -------------------------------------------------------------------
 
 
-def write_atomic(path: str, text: str) -> None:
-    """Write *text* to *path* via fsync'd temp file + atomic rename."""
+def write_atomic_bytes(path: str, data: bytes) -> None:
+    """Write *data* to *path* via fsync'd temp file + atomic rename.
+
+    A crash at any point leaves either the old file or the new one —
+    never a torn hybrid, and never a zero-length stub. The containing
+    directory is fsync'd too, so the rename itself survives power loss.
+    """
     directory = os.path.dirname(os.path.abspath(path))
     fd, tmp = tempfile.mkstemp(dir=directory, prefix=".campaign-",
                                suffix=".tmp")
     try:
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            handle.write(text)
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, path)
@@ -111,6 +116,11 @@ def write_atomic(path: str, text: str) -> None:
         os.fsync(dir_fd)
     finally:
         os.close(dir_fd)
+
+
+def write_atomic(path: str, text: str) -> None:
+    """Write *text* to *path* via fsync'd temp file + atomic rename."""
+    write_atomic_bytes(path, text.encode("utf-8"))
 
 
 def _record_line(record: Dict[str, object]) -> str:
@@ -464,6 +474,54 @@ class CampaignRunner:
             return result_from_record(record)
         raise EvaluationFailureError(record["message"],
                                      failure=failure_from_record(record))
+
+    def seed_record(self, key: str, record: Dict[str, object]) -> None:
+        """Install an externally recovered record (evaluation cache hit,
+        cross-campaign import) as if it had been journalled by this run.
+
+        The record is appended to the journal like a fresh evaluation —
+        so a later ``--resume`` replays it — but none of the fresh-
+        evaluation metrics fire: the caller accounts for its own source
+        (e.g. cache-hit counters).
+        """
+        if record.get("v") != JOURNAL_VERSION or record.get("key") != key \
+                or "status" not in record:
+            raise CampaignError(
+                f"refusing to seed a malformed record for key {key!r}")
+        self._records[key] = record
+        if self.journal_path is not None:
+            with open(self.journal_path, "a", encoding="utf-8") as handle:
+                handle.write(_record_line(record) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    def failure_reason(self, config: ArchitectureConfiguration
+                       ) -> Optional[str]:
+        """The error class name of a recorded *failed* evaluation of
+        *config* (``"WorkerCrashError"``, ``"CycleBudgetError"``, ...),
+        or ``None`` if it has no record or succeeded. Lets callers
+        classify contained failures without parsing exceptions."""
+        record = self._records.get(config_key(config))
+        if record is None or record["status"] == "ok":
+            return None
+        return record["error"]
+
+    def forget_failure(self, config: ArchitectureConfiguration) -> bool:
+        """Drop a recorded *failed* evaluation so the next evaluate of
+        *config* runs fresh; returns whether anything was dropped.
+
+        The journal keeps the failed record — history is append-only —
+        and the retry's record is appended after it, which wins on
+        replay (last record per key). Successful records are never
+        dropped: retrying a success would break byte-identical resume.
+        """
+        key = config_key(config)
+        record = self._records.get(key)
+        if record is None or record["status"] == "ok":
+            return False
+        del self._records[key]
+        self._replayed_keys.discard(key)
+        return True
 
     def evaluate_batch(self, configs: Sequence[ArchitectureConfiguration]
                        ) -> List[Optional[EvaluationResult]]:

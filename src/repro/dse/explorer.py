@@ -19,15 +19,21 @@ a fraction of the evaluations on the paper's space.
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.dse.config import ArchitectureConfiguration
 from repro.dse.evaluator import EvaluationResult
 from repro.dse.pareto import DesignConstraints, select_best
 from repro.dse.protocols import Evaluator, supports_batching
 from repro.dse.space import DesignSpace
-from repro.errors import SimulationError
+from repro.errors import EvaluationFailureError, SimulationError
+
+#: failure classes caused by the *infrastructure* (a worker process
+#: died or wedged), not by the configuration itself — worth one retry
+#: before the configuration is written off
+_TRANSIENT_FAILURES = frozenset({"WorkerCrashError", "WorkerStallError"})
 
 
 @dataclass
@@ -103,18 +109,34 @@ class ExhaustiveExplorer:
 
 
 class GreedyExplorer:
-    """Hill climbing with restarts from each table option's cheapest point."""
+    """Hill climbing with restarts from each table option's cheapest point.
+
+    Failures are classified before they become dead ends: a *transient*
+    failure (a pool worker crashed or stalled under this configuration —
+    infrastructure, not design) gets exactly one backoff retry; a
+    *structural* one (budget overrun, functional mismatch, estimation
+    error — properties of the design itself) is cached as a permanent
+    ``None`` sentinel and never retried. *sleep_fn* is injectable so
+    tests replay the backoff without waiting.
+    """
 
     def __init__(self, evaluator: Evaluator,
-                 constraints: Optional[DesignConstraints] = None):
+                 constraints: Optional[DesignConstraints] = None,
+                 retry_backoff_seconds: float = 0.05,
+                 sleep_fn: Callable[[float], None] = time.sleep):
         self.evaluator = evaluator
         self.constraints = constraints or DesignConstraints()
+        self.retry_backoff_seconds = retry_backoff_seconds
+        self.sleep_fn = sleep_fn
+        #: transient-failure retries attempted (at most one per config)
+        self.transient_retries = 0
         #: keyed by the *logical* configuration (CAM search latency
         #: normalised away — the evaluator's fixed point re-resolves it),
         #: so restarts and repeated explore() calls reuse every result;
         #: ``None`` marks a configuration whose evaluation failed.
         self._cache: Dict[ArchitectureConfiguration,
                           Optional[EvaluationResult]] = {}
+        self._retried: Set[ArchitectureConfiguration] = set()
 
     def explore(self, space: DesignSpace) -> ExplorationOutcome:
         best: Optional[EvaluationResult] = None
@@ -167,6 +189,31 @@ class GreedyExplorer:
         for key, result in zip(missing,
                                self.evaluator.evaluate_batch(missing)):
             self._cache[key] = result  # None marks a contained failure
+        retryable = [key for key in missing
+                     if self._cache[key] is None
+                     and self._transient_reason(key) is not None
+                     and key not in self._retried]
+        if not retryable:
+            return
+        self._retried.update(retryable)
+        self.transient_retries += len(retryable)
+        self.sleep_fn(self.retry_backoff_seconds)
+        for key in retryable:
+            self.evaluator.forget_failure(key)
+        for key, result in zip(retryable,
+                               self.evaluator.evaluate_batch(retryable)):
+            self._cache[key] = result  # still None => now structural
+
+    def _transient_reason(self, key: ArchitectureConfiguration
+                          ) -> Optional[str]:
+        """The transient error class a batch evaluator recorded for
+        *key*, when it exposes one (journal-backed runners do)."""
+        reason_of = getattr(self.evaluator, "failure_reason", None)
+        if reason_of is None or \
+                not hasattr(self.evaluator, "forget_failure"):
+            return None
+        reason = reason_of(key)
+        return reason if reason in _TRANSIENT_FAILURES else None
 
     def _evaluate(self, config: ArchitectureConfiguration
                   ) -> Optional[EvaluationResult]:
@@ -174,12 +221,31 @@ class GreedyExplorer:
         if key not in self._cache:
             try:
                 self._cache[key] = self.evaluator.evaluate(key)
-            except SimulationError:
+            except SimulationError as exc:
                 # One bad configuration must not abort the whole climb:
-                # remember the failure (so it is never retried) and let
-                # the search route around it.
+                # let the search route around it. Infrastructure-class
+                # failures get a single backoff retry first; anything
+                # structural becomes a permanent dead-end sentinel.
                 self._cache[key] = None
+                if self._should_retry(key, exc):
+                    self.transient_retries += 1
+                    self.sleep_fn(self.retry_backoff_seconds)
+                    self.evaluator.forget_failure(key)
+                    try:
+                        self._cache[key] = self.evaluator.evaluate(key)
+                    except SimulationError:
+                        self._cache[key] = None
         return self._cache[key]
+
+    def _should_retry(self, key: ArchitectureConfiguration,
+                      exc: SimulationError) -> bool:
+        if key in self._retried:
+            return False
+        self._retried.add(key)
+        return (isinstance(exc, EvaluationFailureError)
+                and exc.failure is not None
+                and exc.failure.error in _TRANSIENT_FAILURES
+                and hasattr(self.evaluator, "forget_failure"))
 
     def _neighbours(self, config: ArchitectureConfiguration,
                     space: DesignSpace) -> List[ArchitectureConfiguration]:

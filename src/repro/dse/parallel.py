@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import multiprocessing
 from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, wait
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -210,6 +211,8 @@ class ParallelCampaignRunner(CampaignRunner):
             suspects = self._dispatch(pending)
             for key, config in suspects:
                 self._probe(key, config)
+            if suspects:
+                self._after_broken_generation(len(suspects))
             pending = [(key, config) for key, config in pending
                        if key not in self._records]
 
@@ -236,6 +239,7 @@ class ParallelCampaignRunner(CampaignRunner):
             initargs=(self.evaluator_factory, self.policy))
         try:
             broken = False
+            stalled = False
             while (chunks or in_flight) and not broken:
                 # bounded window: at most one queued chunk per worker, so
                 # a pool death voids little and suspects stay few
@@ -258,7 +262,22 @@ class ParallelCampaignRunner(CampaignRunner):
                     queue_depth.set(len(in_flight))
                 if not in_flight:
                     break
-                done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+                done, _ = wait(in_flight,
+                               timeout=self._heartbeat_seconds(),
+                               return_when=FIRST_COMPLETED)
+                if not done:
+                    # heartbeat deadline passed with zero completions: a
+                    # supervisor may declare the pool stalled (terminate
+                    # it and resolve the in-flight work via probes); the
+                    # unsupervised default keeps waiting forever, which
+                    # is the pre-supervision behaviour.
+                    if self._handle_stall(pool, in_flight):
+                        broken = True
+                        stalled = True
+                        for chunk in in_flight.values():
+                            suspects.extend(chunk)
+                        in_flight.clear()
+                    continue
                 # persist clean completions first: a future that finished
                 # before the pool died still carries a usable result
                 for future in done:
@@ -288,11 +307,14 @@ class ParallelCampaignRunner(CampaignRunner):
                                     error=type(exc).__name__,
                                     message=str(exc))))
             if broken:
-                self.worker_crashes += 1
-                if registry.enabled:
-                    registry.counter(
-                        "dse_worker_crashes_total",
-                        "pool teardowns after a worker process died").inc()
+                if not stalled:
+                    # a stall is counted by its supervisor, not as a crash
+                    self.worker_crashes += 1
+                    if registry.enabled:
+                        registry.counter(
+                            "dse_worker_crashes_total",
+                            "pool teardowns after a worker process died"
+                        ).inc()
                 for chunk in in_flight.values():
                     suspects.extend(chunk)
         finally:
@@ -310,12 +332,63 @@ class ParallelCampaignRunner(CampaignRunner):
         self._busy_seconds += elapsed
         chunk_seconds.observe(elapsed)
 
+    # -- supervision seams (no-ops here; see repro.service.supervisor) ------------
+
+    def _heartbeat_seconds(self) -> Optional[float]:
+        """Longest silence (no chunk completion) tolerated before the
+        stall handler is consulted; ``None`` waits forever."""
+        return None
+
+    def _probe_timeout_seconds(self) -> Optional[float]:
+        """Wall-clock ceiling for a single-config probe; ``None`` waits
+        forever (a probe can only end by completing or dying)."""
+        return None
+
+    def _handle_stall(self, pool: ProcessPoolExecutor,
+                      in_flight: Dict[object, List[_Item]]) -> bool:
+        """Called when a heartbeat deadline passes with zero completions.
+
+        Return True to declare the pool stalled: the dispatcher then
+        treats every in-flight item as a suspect (exactly like a worker
+        death) and the caller is expected to have terminated the stuck
+        workers. The base runner never declares a stall.
+        """
+        return False
+
+    def _after_broken_generation(self, suspects: int) -> None:
+        """Called once per pool generation that ended broken (crash or
+        stall), after its suspects were resolved. Supervisors use this
+        for backoff and pool shrinking; the base runner does nothing."""
+
+    @staticmethod
+    def _terminate_pool_processes(pool: ProcessPoolExecutor) -> int:
+        """Best-effort SIGTERM of a pool's worker processes.
+
+        Needed when workers are *stuck*, not dead: ``shutdown`` would
+        join them (blocking on the very stall being escaped), so the
+        supervisor kills them first and lets the executor observe the
+        deaths as a broken pool. Returns the number of processes
+        signalled.
+        """
+        processes = getattr(pool, "_processes", None) or {}
+        terminated = 0
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+                terminated += 1
+            except (OSError, ValueError):  # already dead / closed
+                pass
+        return terminated
+
     def _probe(self, key: str, config: ArchitectureConfiguration) -> None:
         """Re-run one crash suspect alone in a fresh single-worker pool.
 
         A clean result clears the suspect; a second death convicts it and
-        it is quarantined as a :class:`WorkerCrashError` failure.
+        it is quarantined as a :class:`WorkerCrashError` failure; a probe
+        that exceeds the probe timeout (supervised runners only) is
+        terminated and quarantined as a :class:`WorkerStallError`.
         """
+        from repro.errors import WorkerStallError
         pool = ProcessPoolExecutor(
             max_workers=1,
             mp_context=multiprocessing.get_context(self.start_method),
@@ -324,7 +397,16 @@ class ParallelCampaignRunner(CampaignRunner):
         try:
             future = pool.submit(_evaluate_chunk, [config_to_dict(config)])
             try:
-                [record] = future.result()
+                [record] = future.result(
+                    timeout=self._probe_timeout_seconds())
+            except FuturesTimeoutError:
+                self._terminate_pool_processes(pool)
+                record = failure_to_record(EvaluationFailure(
+                    config=config, error=WorkerStallError.__name__,
+                    message=(f"probe of {config.describe()} made no "
+                             f"progress within "
+                             f"{self._probe_timeout_seconds()}s and was "
+                             f"terminated")))
             except BrokenExecutor as exc:
                 self.worker_crashes += 1
                 registry = get_registry()

@@ -122,6 +122,34 @@ class WorkerCrashError(CampaignError):
     configuration and refill the pool instead of aborting the sweep."""
 
 
+class WorkerStallError(CampaignError):
+    """A pool worker stopped making progress: no chunk completed within
+    the supervisor's heartbeat deadline. Supervised campaigns terminate
+    the stalled pool, re-probe the in-flight configurations, and
+    quarantine any configuration that stalls its prober too."""
+
+
+class ServiceError(ReproError):
+    """The campaign service was misused (bad plan, unknown job, fetch of
+    an unfinished job...) or hit an unrecoverable infrastructure fault."""
+
+
+class JobNotFoundError(ServiceError):
+    """No job with the requested id exists in the service root."""
+
+
+class JobTimeoutError(ServiceError):
+    """A job exceeded its wall-clock deadline. Progress up to the
+    deadline is journalled, so a retried/resubmitted job resumes instead
+    of starting over."""
+
+
+class CacheIntegrityError(ServiceError):
+    """An evaluation-cache entry failed its integrity check (torn write,
+    bit rot, truncation). Raised only by strict readers; the cache
+    itself quarantines the entry and recomputes transparently."""
+
+
 class EvaluationFailureError(SimulationError):
     """A campaign evaluation failed; ``failure`` holds the structured
     :class:`repro.dse.campaign.EvaluationFailure` record."""

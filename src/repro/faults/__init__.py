@@ -28,6 +28,11 @@ from repro.faults.datapath import (
 )
 from repro.faults.flaps import FlapEvent, FlapSchedule
 from repro.faults.model import FaultModel, FaultStatistics
+from repro.faults.process import (
+    ChaosEvaluatorFactory,
+    corrupt_file,
+    truncate_file,
+)
 from repro.faults.scenario import (
     ChaosScenario,
     ResilienceReport,
@@ -42,6 +47,7 @@ __all__ = [
     "FAULT_SITES", "DatapathFault", "DatapathFaultInjector",
     "FlapEvent", "FlapSchedule",
     "FaultModel", "FaultStatistics",
+    "ChaosEvaluatorFactory", "corrupt_file", "truncate_file",
     "ChaosScenario", "ResilienceReport", "advertised_prefixes",
     "SEED_STRIDE", "derive_seed", "make_rng", "spread_seed",
     "SimulationWatchdog", "WatchdogDiagnosis",

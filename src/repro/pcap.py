@@ -108,10 +108,16 @@ def from_pcap_bytes(data: bytes) -> Tuple[List[CapturedPacket], int]:
 
 def write_pcap(path: str, packets: Iterable[CapturedPacket],
                linktype: int = LINKTYPE_RAW) -> int:
-    """Write *packets* to *path*; returns the packet count."""
+    """Write *packets* to *path* atomically; returns the packet count.
+
+    Same crash contract as every ``--output`` document: a crash mid-write
+    leaves either the previous capture or the complete new one, never a
+    truncated file a later ``read_pcap`` would choke on.
+    """
+    from repro.dse.campaign import write_atomic_bytes
+
     packets = list(packets)
-    with open(path, "wb") as handle:
-        handle.write(to_pcap_bytes(packets, linktype=linktype))
+    write_atomic_bytes(path, to_pcap_bytes(packets, linktype=linktype))
     return len(packets)
 
 

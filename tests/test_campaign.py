@@ -315,6 +315,59 @@ class TestMismatchDiagnostics:
         assert "poisoned" in record["message"]
 
 
+class TestAtomicWrite:
+    def test_crash_mid_write_leaves_the_old_file_intact(
+            self, tmp_path, monkeypatch):
+        from repro.dse.campaign import write_atomic_bytes
+
+        target = tmp_path / "table1.json"
+        target.write_bytes(b"old")
+
+        def power_loss(src, dst):
+            raise OSError("simulated power loss before rename")
+
+        monkeypatch.setattr("os.replace", power_loss)
+        with pytest.raises(OSError):
+            write_atomic_bytes(str(target), b"new")
+        assert target.read_bytes() == b"old"
+        # the aborted temp file is cleaned up, not left as litter
+        assert [p.name for p in tmp_path.iterdir()] == ["table1.json"]
+
+
+class TestRetryWithoutMetrics:
+    def test_env_kill_switch_disables_a_fresh_registry(self, monkeypatch):
+        from repro.obs.metrics import MetricsRegistry
+
+        monkeypatch.setenv("REPRO_NO_METRICS", "1")
+        assert MetricsRegistry().enabled is False
+
+    def test_budget_retry_works_with_metrics_disabled(self, monkeypatch):
+        # the supervision/retry machinery must not depend on the obs
+        # layer being live: REPRO_NO_METRICS=1 runs record nothing but
+        # still retry failed budgets exactly as instrumented runs do
+        from repro.obs import get_registry
+
+        monkeypatch.setenv("REPRO_NO_METRICS", "1")
+        registry = get_registry()
+        registry.disable()
+        try:
+            before = registry.snapshot()
+            flaky = FlakyBudgetEvaluator(small_evaluator(),
+                                         threshold=200_000)
+            runner = CampaignRunner(
+                flaky, policy=CampaignPolicy(cycle_budget=100_000))
+            config = ArchitectureConfiguration(bus_count=3,
+                                               table_kind="sequential")
+            campaign = runner.run([config])
+            assert flaky.calls == 2  # failed at 100k, retried at 400k
+            assert not campaign.failures
+            [record] = campaign.records
+            assert record["status"] == "ok"
+            assert registry.snapshot() == before
+        finally:
+            registry.enable()
+
+
 class TestCli:
     def test_table1_refuses_stale_journal(self, tmp_path, capsys):
         from repro.cli import main

@@ -245,3 +245,93 @@ class TestEnergyMetric:
         result = evaluator.evaluate(ArchitectureConfiguration(
             bus_count=1, table_kind="sequential"))
         assert result.energy_per_packet_nj(1e6) is None
+
+
+class CrashOnceEvaluator:
+    """Raises an infrastructure (worker-crash) error the first *crashes*
+    times the victim configuration is evaluated, then delegates."""
+
+    def __init__(self, victim, crashes=1):
+        from repro.dse import config_key
+        self.evaluator = Evaluator(table_entries=20, packet_batch=4)
+        self.victim_key = config_key(victim)
+        self.remaining = crashes
+        self.crash_count = 0
+
+    def evaluate(self, config, max_cycles=None):
+        from repro.dse import config_key
+        from repro.errors import WorkerCrashError
+        if self.remaining > 0 and config_key(config) == self.victim_key:
+            self.remaining -= 1
+            self.crash_count += 1
+            raise WorkerCrashError("worker killed (simulated OOM)")
+        return self.evaluator.evaluate(config, max_cycles=max_cycles)
+
+
+class _NoBatch:
+    """Hides ``evaluate_batch`` so the explorer takes its sequential
+    path; failure classification still flows through the runner."""
+
+    def __init__(self, runner):
+        self.runner = runner
+
+    def evaluate(self, config, max_cycles=None):
+        return self.runner.evaluate(config)
+
+    def forget_failure(self, config):
+        return self.runner.forget_failure(config)
+
+
+class TestTransientFailureRetry:
+    #: the cheapest sequential design — always one of the explorer's
+    #: restart points, so the injected failure hits the prefetch batch
+    VICTIM = ArchitectureConfiguration(bus_count=1,
+                                       table_kind="sequential")
+
+    def test_batch_transient_failure_gets_one_backoff_retry(self):
+        crashing = CrashOnceEvaluator(self.VICTIM)
+        runner = CampaignRunner(crashing)
+        sleeps = []
+        explorer = GreedyExplorer(runner, sleep_fn=sleeps.append)
+        outcome = explorer.explore(paper_space())
+        assert crashing.crash_count == 1
+        assert explorer.transient_retries == 1
+        assert sleeps == [explorer.retry_backoff_seconds]
+        # the retry recovered the result: nothing quarantined, and the
+        # sequential climb still produced candidates
+        assert outcome.failed == []
+        assert outcome.best is not None
+
+    def test_sequential_transient_failure_also_retries(self):
+        crashing = CrashOnceEvaluator(self.VICTIM)
+        sleeps = []
+        explorer = GreedyExplorer(_NoBatch(CampaignRunner(crashing)),
+                                  sleep_fn=sleeps.append)
+        outcome = explorer.explore(paper_space())
+        assert explorer.transient_retries == 1
+        assert sleeps == [explorer.retry_backoff_seconds]
+        assert outcome.failed == []
+
+    def test_structural_failure_is_never_retried(self):
+        poison = self.VICTIM
+        runner = CampaignRunner(PoisonedEvaluator(
+            Evaluator(table_entries=20, packet_batch=4), [poison]))
+        sleeps = []
+        explorer = GreedyExplorer(runner, sleep_fn=sleeps.append)
+        outcome = explorer.explore(paper_space())
+        # a functional mismatch is a property of the design, not the
+        # infrastructure: permanent sentinel, zero retries, no backoff
+        assert explorer.transient_retries == 0
+        assert sleeps == []
+        assert poison.with_cam_latency(1) in outcome.failed
+
+    def test_repeated_transient_failure_becomes_permanent(self):
+        crashing = CrashOnceEvaluator(self.VICTIM, crashes=10)
+        explorer = GreedyExplorer(CampaignRunner(crashing),
+                                  sleep_fn=lambda seconds: None)
+        outcome = explorer.explore(paper_space())
+        # one retry, not an unbounded loop; the second crash writes the
+        # configuration off as a dead end
+        assert crashing.crash_count == 2
+        assert explorer.transient_retries == 1
+        assert self.VICTIM.with_cam_latency(1) in outcome.failed

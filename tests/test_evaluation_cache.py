@@ -1,0 +1,152 @@
+"""Integrity-checked evaluation cache: addressing, damage, healing."""
+
+import json
+import os
+from functools import partial
+
+import pytest
+
+from repro.dse import (
+    ArchitectureConfiguration,
+    ArchitectureEvaluator,
+    CampaignRunner,
+    config_key,
+)
+from repro.dse.campaign import result_to_record
+from repro.errors import CacheIntegrityError
+from repro.faults import corrupt_file, truncate_file
+from repro.service import EvaluationCache, record_checksum
+
+factory = partial(ArchitectureEvaluator, table_entries=10, packet_batch=2)
+
+CONFIG = ArchitectureConfiguration(bus_count=3, table_kind="sequential")
+NAMESPACE = {"entries": 10, "packets": 2, "hazards": False}
+
+
+@pytest.fixture(scope="module")
+def record():
+    return result_to_record(factory().evaluate(CONFIG), CONFIG)
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return EvaluationCache(str(tmp_path / "cache"), NAMESPACE)
+
+
+class TestRoundTrip:
+    def test_put_then_get_returns_the_record(self, cache, record):
+        key = config_key(CONFIG)
+        cache.put(key, record)
+        assert cache.get(key) == record
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_missing_key_is_a_counted_miss(self, cache):
+        assert cache.get("no-such-key") is None
+        assert cache.misses == 1 and cache.hits == 0
+
+    def test_entries_are_sharded_by_digest_prefix(self, cache, record):
+        key = config_key(CONFIG)
+        path = cache.put(key, record)
+        shard = os.path.basename(os.path.dirname(path))
+        assert len(shard) == 2
+        assert os.path.basename(path).startswith(shard)
+
+    def test_put_rejects_a_record_filed_under_the_wrong_key(
+            self, cache, record):
+        with pytest.raises(CacheIntegrityError):
+            cache.put("some-other-key", record)
+
+    def test_checksum_is_canonical_and_order_insensitive(self, record):
+        shuffled = dict(reversed(list(record.items())))
+        assert record_checksum(shuffled) == record_checksum(record)
+
+
+class TestNamespaceIsolation:
+    def test_namespaces_never_share_entries(self, tmp_path, record):
+        key = config_key(CONFIG)
+        a = EvaluationCache(str(tmp_path / "cache"), NAMESPACE)
+        b = EvaluationCache(str(tmp_path / "cache"),
+                            {**NAMESPACE, "entries": 20})
+        a.put(key, record)
+        assert b.get(key) is None
+        assert a.get(key) == record
+
+    def test_entry_path_depends_on_namespace(self, tmp_path):
+        key = config_key(CONFIG)
+        a = EvaluationCache(str(tmp_path / "cache"), NAMESPACE)
+        b = EvaluationCache(str(tmp_path / "cache"),
+                            {**NAMESPACE, "hazards": True})
+        assert a.entry_path(key) != b.entry_path(key)
+
+
+class TestDamage:
+    """Every damage class must be detected, quarantined, and healable."""
+
+    def _assert_quarantined(self, cache, key, record):
+        path = cache.entry_path(key)
+        assert cache.get(key) is None
+        assert cache.corrupt == 1
+        assert not os.path.exists(path)
+        assert os.path.exists(path + ".corrupt-0")
+        # the caller recomputes; the next put heals the cache
+        cache.put(key, record)
+        assert cache.get(key) == record
+
+    def test_bit_rot_is_quarantined(self, cache, record):
+        key = config_key(CONFIG)
+        corrupt_file(cache.put(key, record), seed=7)
+        self._assert_quarantined(cache, key, record)
+
+    def test_truncation_is_quarantined(self, cache, record):
+        key = config_key(CONFIG)
+        truncate_file(cache.put(key, record), keep_fraction=0.5)
+        self._assert_quarantined(cache, key, record)
+
+    def test_invalid_utf8_is_quarantined_not_raised(self, cache, record):
+        key = config_key(CONFIG)
+        path = cache.put(key, record)
+        with open(path, "wb") as handle:
+            handle.write(b"\xf3\x28garbage\xff")
+        self._assert_quarantined(cache, key, record)
+
+    def test_checksum_mismatch_is_quarantined(self, cache, record):
+        key = config_key(CONFIG)
+        path = cache.put(key, record)
+        with open(path, encoding="utf-8") as handle:
+            entry = json.load(handle)
+        entry["record"]["cycles_per_packet"] = 1
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(entry, handle)
+        self._assert_quarantined(cache, key, record)
+
+    def test_wrong_version_is_quarantined(self, cache, record):
+        key = config_key(CONFIG)
+        path = cache.put(key, record)
+        with open(path, encoding="utf-8") as handle:
+            entry = json.load(handle)
+        entry["v"] = 999
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(entry, handle)
+        self._assert_quarantined(cache, key, record)
+
+    def test_repeat_damage_gets_distinct_quarantine_names(
+            self, cache, record):
+        key = config_key(CONFIG)
+        for expected in ("corrupt-0", "corrupt-1"):
+            path = cache.put(key, record)
+            truncate_file(path, keep_fraction=0.3)
+            assert cache.get(key) is None
+            assert os.path.exists(f"{path}.{expected}")
+
+
+class TestRunnerIntegration:
+    def test_seed_record_journals_the_hit(self, tmp_path, record):
+        """A cache hit installed via seed_record must land in the journal
+        so --resume replays it byte-identically."""
+        key = config_key(CONFIG)
+        journal = tmp_path / "journal.jsonl"
+        runner = CampaignRunner(factory(), journal_path=str(journal))
+        runner.seed_record(key, record)
+        resumed = CampaignRunner(factory(), journal_path=str(journal),
+                                 resume=True)
+        assert resumed.run([CONFIG]).records == [record]

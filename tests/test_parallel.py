@@ -207,3 +207,30 @@ class TestCli:
         assert len(payload["rows"]) == 9
         assert payload["shape_violations"] == []
         assert payload["rows"][0]["measured"]["table_kind"] == "sequential"
+
+
+class TestTransientCrashRecovery:
+    """A one-shot worker kill (OOM-style, not a deterministic crasher)
+    must end with the result recovered, not quarantined."""
+
+    def test_supervised_pool_recovers_the_killed_config(
+            self, tmp_path, configs, sequential):
+        from repro.faults import ChaosEvaluatorFactory
+        from repro.service import (SupervisedCampaignRunner,
+                                   SupervisionPolicy)
+
+        chaos = ChaosEvaluatorFactory(
+            small_factory, sentinel_dir=str(tmp_path / "sentinels"),
+            kill_config=CRASH)
+        runner = SupervisedCampaignRunner(
+            chaos, jobs=2, chunk_size=1,
+            supervision=SupervisionPolicy(heartbeat_seconds=None),
+            sleep_fn=lambda seconds: None)
+        campaign = runner.run(configs)
+        # the sentinel made the kill one-shot: the re-probe re-evaluated
+        # CRASH successfully, so nothing is quarantined and the records
+        # are byte-identical to the sequential ground truth
+        assert not campaign.failures
+        assert campaign.records == sequential.records
+        assert runner.worker_crashes >= 1
+        assert runner.pool_shrinks == 1 and runner.jobs == 1

@@ -153,3 +153,21 @@ class TestPercentile:
 
     def test_empty_is_zero(self):
         assert percentile([], 0.99) == 0.0
+
+
+class TestAtomicWrite:
+    def test_crash_mid_write_preserves_the_previous_capture(
+            self, tmp_path, monkeypatch):
+        # write_pcap shares the --output crash contract: a failure while
+        # rewriting must leave the old capture readable, never a torn one
+        path = tmp_path / "capture.pcap"
+        write_pcap(str(path), PACKETS)
+
+        def power_loss(src, dst):
+            raise OSError("simulated power loss before rename")
+
+        monkeypatch.setattr("os.replace", power_loss)
+        with pytest.raises(OSError):
+            write_pcap(str(path), [CapturedPacket(b"new", 9.0)])
+        assert read_pcap(str(path)) == PACKETS
+        assert [p.name for p in tmp_path.iterdir()] == ["capture.pcap"]

@@ -1,0 +1,75 @@
+"""Service-level chaos: the harness itself plus its fault helpers."""
+
+import os
+
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.faults import ChaosEvaluatorFactory, corrupt_file, truncate_file
+from repro.service import run_service_chaos
+
+EXPECTED_PHASES = ("cold-service", "warm-cache", "cache-corruption",
+                   "worker-kill", "worker-stall", "crash-restart",
+                   "obs-visibility")
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    # One full campaign for the whole module: worker kill, worker stall,
+    # cache corruption, torn journal, crash/restart — every phase must
+    # recover to the byte-identical clean result.
+    root = tmp_path_factory.mktemp("chaos")
+    return run_service_chaos(str(root), entries=10, packets=2, jobs=2,
+                             seed=0)
+
+
+class TestHarness:
+    def test_every_phase_passes(self, report):
+        assert report.passed, report.render()
+        assert tuple(phase.name for phase in report.phases) \
+            == EXPECTED_PHASES
+        assert all(phase.passed for phase in report.phases)
+
+    def test_warm_cache_speedup_meets_the_floor(self, report):
+        assert report.speedup >= report.speedup_floor
+
+    def test_render_and_dict_round_trip(self, report):
+        text = report.render()
+        assert "PASSED" in text
+        payload = report.to_dict()
+        assert payload["passed"] is True
+        assert len(payload["phases"]) == len(EXPECTED_PHASES)
+        assert payload["speedup"] >= payload["speedup_floor"]
+
+
+class TestFaultHelpers:
+    def test_chaos_factory_requires_a_fault(self, tmp_path):
+        with pytest.raises(FaultInjectionError):
+            ChaosEvaluatorFactory(lambda: None,
+                                  sentinel_dir=str(tmp_path))
+
+    def test_chaos_factory_rejects_a_non_callable(self, tmp_path):
+        with pytest.raises(FaultInjectionError):
+            ChaosEvaluatorFactory("not a factory",
+                                  sentinel_dir=str(tmp_path),
+                                  kill_config=object())
+
+    def test_corrupt_file_is_seeded_and_deterministic(self, tmp_path):
+        # flip positions derive from (seed, stream, basename), so the
+        # same file name corrupts identically wherever it lives
+        a = tmp_path / "one" / "entry.json"
+        b = tmp_path / "two" / "entry.json"
+        payload = bytes(range(256)) * 4
+        for path in (a, b):
+            path.parent.mkdir()
+            path.write_bytes(payload)
+            corrupt_file(str(path), seed=11)
+        assert a.read_bytes() == b.read_bytes()
+        assert a.read_bytes() != payload
+        assert len(a.read_bytes()) == len(payload)
+
+    def test_truncate_file_cuts_to_the_fraction(self, tmp_path):
+        path = tmp_path / "t.bin"
+        path.write_bytes(b"x" * 100)
+        truncate_file(str(path), keep_fraction=0.25)
+        assert os.path.getsize(path) == 25
