@@ -69,28 +69,36 @@ def _validate(instance, schema, root, path="$"):
     return errors
 
 
-#: (counter name, label name, definitions key) triples the structural
-#: pass cannot express: every such label value must be in the enum
+#: (section, metric name, label name, definitions key) rows the
+#: structural pass cannot express: every such label value must be in
+#: the named enum
 _LABEL_DOMAINS = (
-    ("sdc_outcomes_total", "outcome", "sdc_outcome"),
-    ("service_jobs_total", "state", "job_state"),
-    ("service_cache_requests_total", "result", "cache_result"),
+    ("counters", "sdc_outcomes_total", "outcome", "sdc_outcome"),
+    ("counters", "service_jobs_total", "state", "job_state"),
+    ("counters", "service_cache_requests_total", "result", "cache_result"),
+    ("counters", "tta_runs_total", "backend", "simulator_backend"),
+    ("counters", "tta_cycles_total", "backend", "simulator_backend"),
+    ("counters", "tta_moves_total", "backend", "simulator_backend"),
+    ("gauges", "tta_cycles_per_second", "backend", "simulator_backend"),
+    ("gauges", "tta_moves_per_second", "backend", "simulator_backend"),
+    ("histograms", "tta_run_seconds", "backend", "simulator_backend"),
+    ("counters", "simulator_fallback_total", "reason", "fallback_reason"),
 )
 
 
 def _check_outcome_labels(metrics: dict, schema: dict) -> list:
     """Domain-check enumerated label values against their definitions."""
     errors = []
-    for counter_name, label, definition in _LABEL_DOMAINS:
+    for section, metric_name, label, definition in _LABEL_DOMAINS:
         allowed = set(schema["definitions"][definition]["enum"])
-        counter = metrics.get("counters", {}).get(counter_name)
-        if not isinstance(counter, dict):
+        metric = metrics.get(section, {}).get(metric_name)
+        if not isinstance(metric, dict):
             continue
-        for i, entry in enumerate(counter.get("values", [])):
+        for i, entry in enumerate(metric.get("values", [])):
             value = entry.get("labels", {}).get(label)
             if value not in allowed:
                 errors.append(
-                    f"$.counters.{counter_name}.values[{i}]: {label} "
+                    f"$.{section}.{metric_name}.values[{i}]: {label} "
                     f"{value!r} is not one of {sorted(allowed)}")
     return errors
 

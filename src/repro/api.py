@@ -11,6 +11,11 @@ The one import users need::
     outcome = api.explore(max_power=25.0, jobs=4)
     report = api.run_chaos(seed=42, drop=0.10)
 
+Every simulation entry point accepts ``backend=`` — ``"interpreter"``
+(the reference loop, the default), ``"compiled"`` (the pre-decoded fast
+path, bit-identical reports), or ``"auto"``. :func:`backends` lists
+what is registered; see :mod:`repro.tta.backends`.
+
 Everything here returns the library's existing dataclasses
 (:class:`EvaluationResult`, :class:`Table1Row`,
 :class:`ExplorationOutcome`, :class:`ResilienceReport` — each with the
@@ -66,6 +71,8 @@ from repro.faults.scenario import ChaosScenario, ResilienceReport
 from repro.pcap import ReplayReport, read_pcap
 from repro.pcap import replay as _replay
 from repro.obs import MetricsRegistry, get_registry, render_snapshot
+from repro.programs.runner import RunOptions
+from repro.tta.backends import SimulatorBackend, available_backends
 from repro.router.network import line_topology, ring_topology
 from repro.service import (
     CampaignService,
@@ -79,6 +86,7 @@ __all__ = [
     "evaluate",
     "table1",
     "explore",
+    "backends",
     "conformance",
     "replay_pcap",
     "run_assault",
@@ -102,18 +110,34 @@ __all__ = [
     "JobRecord",
     "ReplayReport",
     "ResilienceReport",
+    "RunOptions",
     "SdcSweepResult",
+    "SimulatorBackend",
     "ServiceChaosReport",
     "SupervisionPolicy",
     "Table1Row",
 ]
 
 
-def _evaluator_factory(entries: int, packets: int, hazards: bool):
+def _evaluator_factory(entries: int, packets: int, hazards: bool,
+                       backend: Optional[str] = None):
     """A picklable factory (``partial`` over the class) so the same spec
-    builds the evaluator in the parent and in every pool worker."""
+    builds the evaluator in the parent and in every pool worker —
+    including the chosen simulation backend."""
     return partial(ArchitectureEvaluator, table_entries=entries,
-                   packet_batch=packets, detect_hazards=hazards)
+                   packet_batch=packets, detect_hazards=hazards,
+                   backend=backend)
+
+
+def backends() -> List[SimulatorBackend]:
+    """The registered simulation engines, in registration order.
+
+    Each entry carries ``name``, ``description``, and an
+    ``accelerated`` property (True when the backend batches state
+    updates through numpy in this process). Pass an entry's ``name`` as
+    the ``backend=`` argument anywhere in this facade.
+    """
+    return available_backends()
 
 
 def _runner(factory, *, jobs: int, journal: Optional[str], resume: bool,
@@ -134,16 +158,18 @@ def evaluate(config: ArchitectureConfiguration, *,
              entries: int = 100,
              packets: int = 12,
              hazards: bool = False,
-             max_cycles: Optional[int] = None) -> EvaluationResult:
+             max_cycles: Optional[int] = None,
+             backend: Optional[str] = None) -> EvaluationResult:
     """Evaluate one architecture configuration (simulate + estimate).
 
     *entries*/*packets* size the routing-table workload; *hazards*
-    attaches the TTA hazard detector; *max_cycles* caps the simulation.
+    attaches the TTA hazard detector; *max_cycles* caps the simulation;
+    *backend* picks the simulation engine (see :func:`backends`).
     *jobs* is accepted for signature symmetry with the sweep entry
     points — a single evaluation always runs in-process.
     """
     del jobs  # a single evaluation has nothing to fan out
-    factory = _evaluator_factory(entries, packets, hazards)
+    factory = _evaluator_factory(entries, packets, hazards, backend)
     return factory().evaluate(config, max_cycles=max_cycles)
 
 
@@ -153,7 +179,8 @@ def table1(*, entries: int = 100,
            journal: Optional[str] = None,
            resume: bool = False,
            cycle_budget: Optional[int] = None,
-           hazards: bool = False) -> List[Table1Row]:
+           hazards: bool = False,
+           backend: Optional[str] = None) -> List[Table1Row]:
     """Regenerate the paper's Table 1 (nine rows, paper values attached).
 
     With ``jobs > 1`` the nine evaluations fan out over a process pool;
@@ -163,7 +190,7 @@ def table1(*, entries: int = 100,
     fail under a journal-backed run are quarantined and absent from the
     returned rows.
     """
-    factory = _evaluator_factory(entries, packets, hazards)
+    factory = _evaluator_factory(entries, packets, hazards, backend)
     if jobs == 1 and journal is None and not resume and not cycle_budget:
         return generate_table1(factory())
     runner = _runner(factory, jobs=jobs, journal=journal, resume=resume,
@@ -181,7 +208,8 @@ def explore(*, space: Optional[DesignSpace] = None,
             journal: Optional[str] = None,
             resume: bool = False,
             cycle_budget: Optional[int] = None,
-            hazards: bool = False) -> ExplorationOutcome:
+            hazards: bool = False,
+            backend: Optional[str] = None) -> ExplorationOutcome:
     """Run the heuristic design-space explorer.
 
     With ``jobs > 1`` the explorer expands each search frontier (all
@@ -190,7 +218,7 @@ def explore(*, space: Optional[DesignSpace] = None,
     """
     constraints = DesignConstraints(max_area_mm2=max_area,
                                     max_power_w=max_power)
-    factory = _evaluator_factory(entries, packets, hazards)
+    factory = _evaluator_factory(entries, packets, hazards, backend)
     if jobs > 1 or journal is not None or resume or cycle_budget:
         evaluator = _runner(factory, jobs=jobs, journal=journal,
                             resume=resume, cycle_budget=cycle_budget)
@@ -305,7 +333,8 @@ def sdc_sweep(configs, *,
               max_faults: Optional[int] = None,
               jobs: int = 1,
               journal: Optional[str] = None,
-              resume: bool = False) -> SdcSweepResult:
+              resume: bool = False,
+              backend: Optional[str] = None) -> SdcSweepResult:
     """Soft-error vulnerability sweep over *configs*.
 
     Every configuration runs ``trials`` seeded datapath-injection trials
@@ -324,7 +353,7 @@ def sdc_sweep(configs, *,
     runner = SdcSweepRunner(
         entries=entries, packet_batch=packets, sites=sites,
         trials=trials, rate=rate, seed=seed, max_faults=max_faults,
-        jobs=jobs, journal_path=journal, resume=resume)
+        jobs=jobs, journal_path=journal, resume=resume, backend=backend)
     return runner.run(list(configs))
 
 

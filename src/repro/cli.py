@@ -26,6 +26,10 @@ Subcommands:
 ``--journal`` (resume with ``--resume``) and fan out over a process pool
 with ``--jobs N`` (parallel output is byte-identical to sequential);
 ``--hazards`` attaches the TTA hazard detector to every simulation.
+``--backend interpreter|compiled|auto`` (on ``table1``/``evaluate``/
+``explore``/``sdc``/``submit``) selects the simulation engine; the
+``compiled`` fast path produces bit-identical reports and falls back to
+the interpreter whenever an observation hook is attached.
 ``--output PATH`` writes the subcommand's result as JSON (the uniform
 ``to_dict()`` document) atomically to PATH; every such document carries a
 ``metrics`` section (the process-wide :mod:`repro.obs` snapshot — disable
@@ -61,6 +65,7 @@ from repro.dse.table1 import table1_to_dict
 from repro.ipv6.address import Ipv6Prefix
 from repro.obs import get_registry, render_snapshot
 from repro.router.network import line_topology, ring_topology
+from repro.tta.backends import BACKEND_AUTO, available_backends
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -120,6 +125,7 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="routing table size (default 100)")
     table1.add_argument("--packets", type=int, default=12,
                         help="measurement batch size (default 12)")
+    _add_backend_argument(table1)
     _add_campaign_arguments(table1)
     _add_output_argument(table1)
 
@@ -132,6 +138,7 @@ def _build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--entries", type=int, default=100)
     ev.add_argument("--hazards", action="store_true",
                     help="attach the hazard detector and print its report")
+    _add_backend_argument(ev)
     _add_output_argument(ev)
 
     ex = sub.add_parser("explore", help="heuristic design-space exploration")
@@ -139,6 +146,7 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="power budget in watts")
     ex.add_argument("--max-area", type=float, default=None,
                     help="area budget in mm^2")
+    _add_backend_argument(ex)
     _add_campaign_arguments(ex)
     _add_output_argument(ex)
 
@@ -253,6 +261,7 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="crash-safe JSONL journal of every trial")
     sdc.add_argument("--resume", action="store_true",
                      help="replay the journal and skip completed trials")
+    _add_backend_argument(sdc)
     _add_output_argument(sdc)
 
     desc = sub.add_parser(
@@ -274,6 +283,7 @@ def _build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--entries", type=int, default=100)
     submit.add_argument("--packets", type=int, default=12)
     submit.add_argument("--hazards", action="store_true")
+    _add_backend_argument(submit)
 
     serve = sub.add_parser(
         "serve", help="recover and drain the service's queued jobs")
@@ -330,6 +340,15 @@ def _build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--format", dest="fmt", default="text",
                          choices=("text", "json"))
     return parser
+
+
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    choices = tuple(backend.name for backend in available_backends()) \
+        + (BACKEND_AUTO,)
+    parser.add_argument("--backend", default=None, choices=choices,
+                        help="simulation engine (default: interpreter; "
+                             "'compiled' is the bit-identical fast path, "
+                             "'auto' picks the fastest)")
 
 
 def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
@@ -393,7 +412,8 @@ def _evaluator_factory(args: argparse.Namespace):
     return partial(ArchitectureEvaluator,
                    table_entries=args.entries,
                    packet_batch=getattr(args, "packets", 12),
-                   detect_hazards=args.hazards)
+                   detect_hazards=args.hazards,
+                   backend=getattr(args, "backend", None))
 
 
 def _make_campaign_runner(factory, args: argparse.Namespace
@@ -448,7 +468,8 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         counters=args.fu_sets, comparators=args.fu_sets,
         table_kind=args.table)
     evaluator = ArchitectureEvaluator(table_entries=args.entries,
-                                      detect_hazards=args.hazards)
+                                      detect_hazards=args.hazards,
+                                      backend=args.backend)
     result = evaluator.evaluate(config)
     print(result.summary())
     if args.output:
@@ -578,7 +599,8 @@ def _cmd_sdc(args: argparse.Namespace) -> int:
         entries=args.entries, packet_batch=args.packets,
         sites=args.site, trials=args.trials, rate=args.rate,
         seed=args.seed, max_faults=args.max_faults,
-        jobs=args.jobs, journal_path=args.journal, resume=args.resume)
+        jobs=args.jobs, journal_path=args.journal, resume=args.resume,
+        backend=args.backend)
     result = runner.run(configs)
     print(result.render())
     if args.output:
@@ -649,6 +671,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     else:
         plan = {"kind": "table1", "entries": args.entries,
                 "packets": args.packets, "hazards": args.hazards}
+        if args.backend is not None:
+            plan["backend"] = args.backend
     service = api.campaign_service(args.root)
     job_id = service.submit(plan)
     print(job_id)

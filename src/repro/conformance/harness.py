@@ -55,7 +55,7 @@ from repro.ipv6.icmpv6 import (
 )
 from repro.ipv6.packet import Ipv6Datagram
 from repro.obs import get_registry
-from repro.programs.runner import run_forwarding
+from repro.programs.runner import RunOptions, run_forwarding
 
 STATUS_PASS = "pass"
 STATUS_FAIL = "fail"
@@ -400,7 +400,8 @@ def run_datapath_check(table_kind: str,
     program_factory = PROGRAM_MUTANTS.get(mutant) if mutant else None
     try:
         result = run_forwarding(config, fixture_routes(), datapath_packets(),
-                                program_factory=program_factory)
+                                options=RunOptions(
+                                    program_factory=program_factory))
     except ReproError as exc:
         return CaseResult(case_id, STATUS_FAIL,
                           f"simulation failed: {exc}")

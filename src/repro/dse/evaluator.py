@@ -25,13 +25,21 @@ from repro.estimation.area import AreaBreakdown, estimate_area
 from repro.estimation.frequency import ThroughputConstraint
 from repro.estimation.power import PowerBreakdown, estimate_power
 from repro.estimation.technology import MAX_CLOCK_HZ
-from repro.programs.runner import ForwardingRunResult, run_forwarding
+from repro.programs.runner import (
+    ForwardingRunResult,
+    RunOptions,
+    run_forwarding,
+)
 from repro.routing.cam import CAM_SEARCH_TIME_NS
 from repro.routing.entry import RouteEntry
+from repro.tta.simulator import DEFAULT_RUN_MAX_CYCLES
 from repro.workload import generate_routes, worst_case_workload
 
 DEFAULT_PACKET_BATCH = 12
-DEFAULT_EVALUATION_MAX_CYCLES = 5_000_000
+#: the evaluator shares the runner's (and the CLI's) cycle ceiling — a
+#: CAM fixed point at latency > 1 must not be classified differently
+#: depending on which entry point launched it
+DEFAULT_EVALUATION_MAX_CYCLES = DEFAULT_RUN_MAX_CYCLES
 _MAX_FIXED_POINT_ROUNDS = 12
 
 
@@ -109,13 +117,17 @@ class ArchitectureEvaluator:
                  constraint: Optional[ThroughputConstraint] = None,
                  packet_batch: int = DEFAULT_PACKET_BATCH,
                  table_entries: int = 100,
-                 detect_hazards: bool = False):
+                 detect_hazards: bool = False,
+                 backend: Optional[str] = None):
         self.routes = list(routes) if routes is not None else \
             generate_routes(table_entries)
         self.packets = list(packets) if packets is not None else \
             worst_case_workload(self.routes, packet_batch)
         self.constraint = constraint or ThroughputConstraint()
         self.detect_hazards = detect_hazards
+        #: simulation engine for every run this evaluator makes
+        #: (None = registry default; see :mod:`repro.tta.backends`)
+        self.backend = backend
         self.evaluations = 0
 
     # -- public -------------------------------------------------------------------
@@ -170,8 +182,10 @@ class ArchitectureEvaluator:
         self.evaluations += 1
         return run_forwarding(
             config, self.routes, self.packets,
-            max_cycles=max_cycles or DEFAULT_EVALUATION_MAX_CYCLES,
-            detect_hazards=self.detect_hazards)
+            options=RunOptions(
+                backend=self.backend,
+                max_cycles=max_cycles or DEFAULT_EVALUATION_MAX_CYCLES,
+                detect_hazards=self.detect_hazards))
 
     @staticmethod
     def _program_store_kbyte(run: ForwardingRunResult) -> float:

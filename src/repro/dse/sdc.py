@@ -137,13 +137,15 @@ def _classify_trial(oracle: DifferentialOracle,
 
 # -- worker side -------------------------------------------------------------------
 
-_worker_workload: Optional[Tuple[list, list, Optional[int]]] = None
+_worker_workload: Optional[Tuple[list, list, Optional[int],
+                                 Optional[str]]] = None
 _worker_oracles: Dict[str, DifferentialOracle] = {}
 
 
-def _init_sdc_worker(routes, packets, max_cycles) -> None:
+def _init_sdc_worker(routes, packets, max_cycles,
+                     backend: Optional[str] = None) -> None:
     global _worker_workload
-    _worker_workload = (routes, packets, max_cycles)
+    _worker_workload = (routes, packets, max_cycles, backend)
     _worker_oracles.clear()
 
 
@@ -154,7 +156,7 @@ def _classify_chunk(payloads: List[Dict[str, object]]
     The per-process oracle cache means one golden simulation per
     configuration per worker, amortised over every trial in its chunks.
     """
-    routes, packets, max_cycles = _worker_workload
+    routes, packets, max_cycles, backend = _worker_workload
     records = []
     for payload in payloads:
         config = ArchitectureConfiguration(**payload["config"])
@@ -166,7 +168,8 @@ def _classify_chunk(payloads: List[Dict[str, object]]
         oracle = _worker_oracles.get(cache_key)
         if oracle is None:
             oracle = DifferentialOracle(config, routes, packets,
-                                        max_cycles=max_cycles)
+                                        max_cycles=max_cycles,
+                                        backend=backend)
             _worker_oracles[cache_key] = oracle
         records.append(_classify_trial(oracle, trial))
     return records
@@ -292,7 +295,8 @@ class SdcSweepRunner:
                  journal_path: Optional[str] = None,
                  resume: bool = False,
                  chunk_size: Optional[int] = None,
-                 start_method: Optional[str] = None):
+                 start_method: Optional[str] = None,
+                 backend: Optional[str] = None):
         if jobs < 1:
             raise CampaignError(f"jobs must be >= 1, got {jobs}")
         if trials < 1:
@@ -313,6 +317,8 @@ class SdcSweepRunner:
         self.seed = seed
         self.max_faults = max_faults
         self.max_cycles = max_cycles
+        #: simulation engine, inherited by every pool worker
+        self.backend = backend
         self.jobs = jobs
         self.journal_path = journal_path
         self.chunk_size = chunk_size
@@ -393,7 +399,8 @@ class SdcSweepRunner:
         oracle = self._oracles.get(key)
         if oracle is None:
             oracle = DifferentialOracle(config, self.routes, self.packets,
-                                        max_cycles=self.max_cycles)
+                                        max_cycles=self.max_cycles,
+                                        backend=self.backend)
             self._oracles[key] = oracle
         return oracle
 
@@ -405,7 +412,8 @@ class SdcSweepRunner:
             max_workers=min(self.jobs, len(chunks)),
             mp_context=multiprocessing.get_context(self.start_method),
             initializer=_init_sdc_worker,
-            initargs=(self.routes, self.packets, self.max_cycles))
+            initargs=(self.routes, self.packets, self.max_cycles,
+                      self.backend))
         try:
             futures = []
             for chunk in chunks:

@@ -16,6 +16,7 @@ from repro.programs.forwarding import (
 from repro.programs.machine import RouterMachine, build_machine
 from repro.programs.runner import (
     ForwardingRunResult,
+    RunOptions,
     expected_forwarding,
     run_forwarding,
 )
@@ -26,5 +27,6 @@ __all__ = [
     "ForwardingProgramFactory", "MODE_BENCH", "MODE_ROUTER",
     "build_forwarding_program",
     "RouterMachine", "build_machine",
-    "ForwardingRunResult", "expected_forwarding", "run_forwarding",
+    "ForwardingRunResult", "RunOptions", "expected_forwarding",
+    "run_forwarding",
 ]

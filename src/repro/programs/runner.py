@@ -9,7 +9,8 @@ semantics, and reports cycles-per-datagram plus utilisation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.dse.config import ArchitectureConfiguration
@@ -20,9 +21,57 @@ from repro.programs.forwarding import MODE_BENCH, build_forwarding_program
 from repro.programs.machine import RouterMachine, build_machine
 from repro.routing import make_table
 from repro.routing.entry import RouteEntry
+from repro.tta.backends import create_simulator
 from repro.tta.hazards import HazardDetector, HazardReport
-from repro.tta.simulator import Simulator
+from repro.tta.simulator import DEFAULT_RUN_MAX_CYCLES, Simulator
 from repro.tta.stats import SimulationReport
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """How one forwarding batch should be executed and observed.
+
+    The one options object every evaluation path accepts — the runner,
+    the DSE evaluator, :mod:`repro.api`, the campaign runners, and the
+    CLI all thread it (or its fields) down to :func:`run_forwarding`.
+    ``None`` fields mean "use the shared default": the backend resolves
+    through :func:`repro.tta.backends.resolve_backend_name` and the
+    cycle ceiling through
+    :data:`repro.tta.simulator.DEFAULT_RUN_MAX_CYCLES`.
+    """
+
+    #: simulation engine name ("interpreter" | "compiled" | "auto");
+    #: None = the registry default
+    backend: Optional[str] = None
+    #: cycle budget; None = DEFAULT_RUN_MAX_CYCLES
+    max_cycles: Optional[int] = None
+    #: cross-check line-card output against the golden forwarding model
+    verify: bool = True
+    #: attach the hazard detector (forces an interpreter fallback on the
+    #: compiled backend)
+    detect_hazards: bool = False
+    #: called with the Simulator after hazard attachment, before run();
+    #: the seam fault injectors and tracers use
+    instrument: Optional[Callable[[Simulator], None]] = None
+    #: replaces the default tuned program generator; the seam the
+    #: conformance suite's program mutants use
+    program_factory: Optional[Callable[["RouterMachine"], object]] = None
+
+    def merged(self, **overrides) -> "RunOptions":
+        """A copy with the non-None *overrides* applied."""
+        changes = {key: value for key, value in overrides.items()
+                   if value is not None}
+        return replace(self, **changes) if changes else self
+
+    @property
+    def effective_max_cycles(self) -> int:
+        return DEFAULT_RUN_MAX_CYCLES if self.max_cycles is None \
+            else self.max_cycles
+
+
+#: kwargs of the pre-RunOptions run_forwarding signature that now live on
+#: the options object; still accepted, with a DeprecationWarning
+_LEGACY_OPTION_KWARGS = ("detect_hazards", "instrument", "program_factory")
 
 
 @dataclass
@@ -41,6 +90,9 @@ class ForwardingRunResult:
     program_length: int = 0
     #: populated when the run was made with ``detect_hazards=True``
     hazard_report: Optional[HazardReport] = None
+    #: the backend that actually executed the run ("interpreter" even
+    #: under backend="compiled" when a hook forced a fallback)
+    backend: str = "interpreter"
 
     @property
     def cycles_per_packet(self) -> float:
@@ -95,28 +147,41 @@ def run_forwarding(config: ArchitectureConfiguration,
                    routes: Sequence[RouteEntry],
                    packets: Sequence[Tuple[int, bytes]],
                    machine: Optional[RouterMachine] = None,
-                   max_cycles: int = 5_000_000,
-                   verify: bool = True,
-                   detect_hazards: bool = False,
-                   instrument: Optional[Callable[[Simulator], None]] = None,
-                   program_factory: Optional[
-                       Callable[["RouterMachine"], object]] = None,
-                   ) -> ForwardingRunResult:
+                   options: Optional[RunOptions] = None,
+                   max_cycles: Optional[int] = None,
+                   verify: Optional[bool] = None,
+                   backend: Optional[str] = None,
+                   **legacy) -> ForwardingRunResult:
     """Simulate one batch of datagrams through a fresh machine.
 
-    *instrument* is called with the :class:`Simulator` after the hazard
-    detector (if any) is attached and before the run starts — the seam
-    fault injectors and tracers use to hook the datapath without this
-    module knowing about them.
-
-    *program_factory* replaces the default tuned program generator —
-    the seam the conformance suite's program mutants use to prove the
-    golden cross-check actually detects a broken datapath.
+    Execution and observation knobs travel on *options* (a
+    :class:`RunOptions`); *max_cycles*, *verify* and *backend* stay
+    first-class keyword shortcuts that override the options object when
+    given. The pre-options ``detect_hazards=`` / ``instrument=`` /
+    ``program_factory=`` keywords still work but emit a
+    ``DeprecationWarning``.
     """
+    if options is None:
+        options = RunOptions()
+    if legacy:
+        unknown = [key for key in legacy if key not in _LEGACY_OPTION_KWARGS]
+        if unknown:
+            raise TypeError(
+                f"run_forwarding() got unexpected keyword arguments "
+                f"{sorted(unknown)}")
+        warnings.warn(
+            f"passing {sorted(legacy)} to run_forwarding() directly is "
+            f"deprecated; put them on a RunOptions (options=...) instead",
+            DeprecationWarning, stacklevel=2)
+        options = options.merged(**legacy)
+    options = options.merged(max_cycles=max_cycles, verify=verify,
+                             backend=backend)
+
     if machine is None:
         machine = build_machine(config, table_capacity=max(len(routes), 100))
     machine.load_routes(routes)
-    program = program_factory(machine) if program_factory is not None \
+    program = options.program_factory(machine) \
+        if options.program_factory is not None \
         else build_forwarding_program(machine, mode=MODE_BENCH)
 
     for iface, raw in packets:
@@ -126,18 +191,19 @@ def run_forwarding(config: ArchitectureConfiguration,
                 f"queue depth for batches of {len(packets)}")
 
     machine.processor.reset()
-    simulator = Simulator(machine.processor, program, strict=True)
+    simulator = create_simulator(machine.processor, program, strict=True,
+                                 backend=options.backend)
     detector = None
-    if detect_hazards:
+    if options.detect_hazards:
         detector = HazardDetector(machine.processor)
         detector.attach(simulator)
-    if instrument is not None:
-        instrument(simulator)
-    report = simulator.run(max_cycles=max_cycles)
+    if options.instrument is not None:
+        options.instrument(simulator)
+    report = simulator.run(max_cycles=options.effective_max_cycles)
 
     mismatches: List[str] = []
     forwarded = sum(len(card.transmitted) for card in machine.line_cards)
-    if verify:
+    if options.verify:
         mismatches = _verify(machine, routes, packets)
     return ForwardingRunResult(
         config=config, report=report,
@@ -148,6 +214,7 @@ def run_forwarding(config: ArchitectureConfiguration,
         machine=machine,
         program_length=len(program),
         hazard_report=detector.report if detector else None,
+        backend=simulator.metrics_backend,
     )
 
 

@@ -30,6 +30,11 @@ Plans::
     {"kind": "table1", "entries": 20, "packets": 4, "hazards": false}
     {"kind": "sweep", "configs": [<config dict>...], "entries": 20,
      "packets": 4, "hazards": false}
+
+Both kinds accept an optional ``"backend"`` key ("interpreter" |
+"compiled" | "auto"); pool workers inherit the selection through the
+evaluator factory. It is validated at submit time against
+:mod:`repro.tta.backends`.
 """
 
 from __future__ import annotations
@@ -52,6 +57,7 @@ from repro.dse.campaign import (
 from repro.dse.config import TABLE_KINDS, paper_configurations
 from repro.errors import (
     CampaignError,
+    ConfigurationError,
     JobNotFoundError,
     JobTimeoutError,
     ServiceError,
@@ -85,9 +91,17 @@ def normalise_plan(plan: Dict[str, object]) -> Dict[str, object]:
         "entries": int(plan.get("entries", 100)),
         "packets": int(plan.get("packets", 12)),
         "hazards": bool(plan.get("hazards", False)),
+        "backend": plan.get("backend"),
     }
     if out["entries"] < 1 or out["packets"] < 1:
         raise ServiceError("entries and packets must be >= 1")
+    if out["backend"] is not None:
+        from repro.tta.backends import get_backend
+        try:
+            get_backend(str(out["backend"]))
+        except ConfigurationError as exc:
+            raise ServiceError(str(exc)) from None
+        out["backend"] = str(out["backend"])
     if kind == "sweep":
         configs = plan.get("configs")
         if not isinstance(configs, list) or not configs:
@@ -371,16 +385,22 @@ class CampaignService:
         factory = partial(ArchitectureEvaluator,
                           table_entries=plan["entries"],
                           packet_batch=plan["packets"],
-                          detect_hazards=plan["hazards"])
+                          detect_hazards=plan["hazards"],
+                          backend=plan.get("backend"))
         if self.evaluator_wrapper is not None:
             factory = self.evaluator_wrapper(factory)
         cache = None
         if self.cache_enabled:
+            namespace = {"entries": plan["entries"],
+                         "packets": plan["packets"],
+                         "hazards": plan["hazards"]}
+            if plan.get("backend") is not None:
+                # partition per engine so a fast-path regression can
+                # never poison the interpreter's cached baseline (the
+                # default namespace is preserved for legacy plans)
+                namespace["backend"] = plan["backend"]
             cache = EvaluationCache(
-                os.path.join(self.root, "cache"),
-                namespace={"entries": plan["entries"],
-                           "packets": plan["packets"],
-                           "hazards": plan["hazards"]})
+                os.path.join(self.root, "cache"), namespace=namespace)
         journal = self._journal_path(job.job_id)
         return SupervisedCampaignRunner(
             factory, jobs=self.jobs, journal_path=journal,

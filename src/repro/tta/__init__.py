@@ -31,8 +31,26 @@ from repro.tta.hazards import (
     loop_signature,
 )
 from repro.tta.processor import TacoProcessor
-from repro.tta.simulator import DEFAULT_MAX_CYCLES, Simulator, simulate
+from repro.tta.simulator import (
+    DEFAULT_MAX_CYCLES,
+    DEFAULT_RUN_MAX_CYCLES,
+    Simulator,
+    simulate,
+)
 from repro.tta.stats import SimulationReport
+from repro.tta.compiled import CompiledSimulator, compile_program
+from repro.tta.backends import (
+    BACKEND_AUTO,
+    BACKEND_COMPILED,
+    BACKEND_INTERPRETER,
+    DEFAULT_BACKEND,
+    SimulatorBackend,
+    available_backends,
+    create_simulator,
+    get_backend,
+    register_backend,
+    resolve_backend_name,
+)
 from repro.tta.trace import TracingSimulator, trace_program
 
 __all__ = [
@@ -48,5 +66,11 @@ __all__ = [
     "WORD_MASK", "truncate",
     "TacoProcessor",
     "Simulator", "simulate", "SimulationReport", "DEFAULT_MAX_CYCLES",
+    "DEFAULT_RUN_MAX_CYCLES",
+    "CompiledSimulator", "compile_program",
+    "SimulatorBackend", "available_backends", "create_simulator",
+    "get_backend", "register_backend", "resolve_backend_name",
+    "BACKEND_AUTO", "BACKEND_COMPILED", "BACKEND_INTERPRETER",
+    "DEFAULT_BACKEND",
     "TracingSimulator", "trace_program",
 ]

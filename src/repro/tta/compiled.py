@@ -1,0 +1,828 @@
+"""Pre-decoded fast execution backend for TACO processors.
+
+The move schedule of a TTA program is static per (program, configuration)
+pair: which ports each slot reads and writes, which FU a trigger starts,
+and which result bit a guard tests are all fixed at compile time — the
+insight the TTA decoder literature exploits in hardware. This module
+exploits it in simulation: :func:`compile_program` pre-resolves every
+socket/port reference once and emits one specialised Python function per
+instruction (plus a driver for the fetch/commit/tick skeleton), so the
+hot loop runs with **zero per-move dispatch** — no dict lookups, no
+``isinstance`` checks, no method-call indirection. The trigger semantics
+of every stock FU (counter, comparator, matcher, masker, shifter, mmu,
+checksum, liu, ippu, oppu, and the NC's jump/halt ports) are inlined
+into the generated code with *eager result application*: a latency-1
+operation's results are written to its result ports at trigger time
+instead of at the next cycle's commit. That is observationally identical
+because sources are read and guards are evaluated strictly before any
+write of the same cycle, and the next read happens after the cycle
+boundary where the interpreter's commit would have applied the same
+values — so these FUs never carry pending completions and the per-cycle
+commit scan disappears entirely. FUs this module cannot prove (custom
+subclasses, the CAM RTU with its configurable search latency) keep the
+generic ``_execute`` + pending-queue path with an unrolled commit check.
+
+All bound objects use deterministic, structure-derived names and are
+passed to the generated functions as default arguments (locals, not
+namespace globals). Determinism lets the compiled code object be cached
+and re-bound to a fresh machine of the same shape, so repeated runs of
+one configuration pay CPython's ``compile()`` only once per process.
+
+Bit-identity with :class:`~repro.tta.simulator.Simulator` is a hard
+contract (enforced by :mod:`repro.verify.backends` across the Table-1
+grid). Three properties of the interpreter make the batching sound:
+
+* every occupied move slot drives its bus exactly once per execution of
+  its instruction, whether the guard squashes it or not — so
+  ``bus_busy_cycles`` is a static per-instruction vector times the
+  per-instruction visit counts, and ``instructions_fetched`` is the sum
+  of the visit counts;
+* unguarded move counts are static per instruction — only guard
+  outcomes are dynamic, so the step functions return just their squash
+  count;
+* ``fu_triggers`` tracks ``fu.trigger_count``, which the generated code
+  maintains inline — it only needs to be copied into the report at run
+  end.
+
+The per-instruction visit counts are reduced to the report totals in one
+batched pass at run end — through numpy when it is importable (disable
+with ``REPRO_NO_NUMPY=1``), otherwise through a plain-Python loop that
+produces the same integers.
+
+Whenever an observation hook is attached (``move_hook`` by tracers and
+the hazard detector, ``transport_filter`` by fault injectors),
+:class:`CompiledSimulator` silently falls back to the inherited
+interpreter loop — hooks need to see every transport as it happens, which
+is exactly the per-move work this backend compiles away. Fallbacks are
+counted in the ``simulator_fallback_total`` metric.
+
+On the abnormal exit paths the compiled backend matches the interpreter's
+*exceptions* exactly (type and message, including the budget-exhaustion
+loop diagnosis), while the partially-executed final cycle's move counts
+may be attributed slightly differently; no consumer reads the report
+after a raise, so the differential oracle byte-diffs the normal path and
+the exception string on the abnormal ones.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import CycleBudgetError, SimulationError
+from repro.obs import get_registry
+from repro.tta.fu import FunctionalUnit
+from repro.tta.hazards import loop_signature
+from repro.tta.memory import ProgramMemory
+from repro.tta.ports import Immediate, PortKind, PortRef, WORD_MASK
+from repro.tta.processor import TacoProcessor
+from repro.tta.simulator import DEFAULT_MAX_CYCLES, Simulator
+
+NUMPY_ENV = "REPRO_NO_NUMPY"
+"""Set to ``1`` to force the pure-Python batched reduction (CI uses this
+to prove the numpy and no-numpy paths are byte-identical)."""
+
+#: lazily imported numpy module (None = unavailable); importing numpy
+#: costs ~100 ms, which simulator construction should never pay eagerly
+_numpy_state: Dict[str, object] = {"checked": False, "module": None}
+
+
+def numpy_available() -> bool:
+    """True when numpy can be imported in this interpreter."""
+    if not _numpy_state["checked"]:
+        _numpy_state["checked"] = True
+        try:
+            import numpy
+            _numpy_state["module"] = numpy
+        except ImportError:  # pragma: no cover - image bakes numpy in
+            _numpy_state["module"] = None
+    return _numpy_state["module"] is not None
+
+
+def numpy_active() -> bool:
+    """True when the batched reduction will actually go through numpy."""
+    if os.environ.get(NUMPY_ENV, "") not in ("", "0"):
+        return False
+    return numpy_available()
+
+
+def _numpy():
+    return _numpy_state["module"] if numpy_available() else None
+
+
+class _CompiledProgram:
+    """The pre-decoded schedule: one driver plus static accounting."""
+
+    __slots__ = ("drive", "length", "bus_count", "occupancy",
+                 "moves_per_pc", "untracked_fus", "_np_occupancy",
+                 "_np_moves")
+
+    def __init__(self, drive: Callable, length: int, bus_count: int,
+                 occupancy: Tuple[Tuple[int, ...], ...],
+                 untracked_fus: Tuple[FunctionalUnit, ...]):
+        self.drive = drive
+        self.length = length
+        self.bus_count = bus_count
+        #: per pc: bus indices whose slot is occupied (guarded or not)
+        self.occupancy = occupancy
+        self.moves_per_pc = tuple(len(buses) for buses in occupancy)
+        #: FUs the generated commit scan does *not* cover (their results
+        #: are applied eagerly, or the program never triggers them); they
+        #: can only carry pending completions if the caller stepped the
+        #: interpreter on the same processor first, which forces a
+        #: fallback run
+        self.untracked_fus = untracked_fus
+        self._np_occupancy = None
+        self._np_moves = None
+
+    def numpy_tables(self, np_mod):
+        """(occupancy matrix, moves vector) as cached int64 arrays."""
+        if self._np_occupancy is None:
+            matrix = np_mod.zeros((self.length, self.bus_count),
+                                  dtype=np_mod.int64)
+            for pc, buses in enumerate(self.occupancy):
+                for bus in buses:
+                    matrix[pc, bus] = 1
+            self._np_occupancy = matrix
+            self._np_moves = np_mod.asarray(self.moves_per_pc,
+                                            dtype=np_mod.int64)
+        return self._np_occupancy, self._np_moves
+
+
+def _raise_budget(simulator: Simulator, max_cycles: int, pc: int) -> None:
+    """Raise exactly the interpreter's budget-exhaustion diagnosis."""
+    signature = loop_signature(simulator.pc_history)
+    detail = f"; {signature.render()}" if signature else ""
+    raise CycleBudgetError(
+        f"program did not halt within {max_cycles} cycles "
+        f"(pc={pc}){detail}",
+        cycles=max_cycles, pc=pc, loop=signature,
+        diagnosis=signature.render() if signature else None)
+
+
+def _ident(name: str) -> str:
+    """A deterministic identifier fragment for an FU/port name."""
+    return re.sub(r"\W", "_", name)
+
+
+class _Codegen:
+    """Accumulates object bindings and generated source lines.
+
+    Names are derived from the *structure* (FU and port names), never
+    from object identity, so the generated source — and therefore the
+    cached code object — is identical across machines of the same shape.
+    """
+
+    def __init__(self):
+        self.namespace: Dict[str, object] = {
+            "SimulationError": SimulationError,
+            "_raise_budget": _raise_budget,
+        }
+        self._by_id: Dict[int, str] = {}
+        self.lines: List[str] = []
+        #: bound names referenced by the function currently being
+        #: emitted; they become its default arguments (LOAD_FAST)
+        self.params: Optional[Set[str]] = None
+
+    def bind(self, name: str, obj: object) -> str:
+        """Register *obj* under the deterministic *name*."""
+        existing = self._by_id.get(id(obj))
+        if existing is None:
+            while name in self.namespace:  # distinct object, same name
+                name += "_"
+            self._by_id[id(obj)] = name
+            self.namespace[name] = obj
+            existing = name
+        if self.params is not None:
+            self.params.add(existing)
+        return existing
+
+    def begin_function(self) -> None:
+        self.params = set()
+
+    def end_function(self, name: str, body: List[str]) -> None:
+        """Emit ``def name(cycle, <bindings as defaults>): body``."""
+        defaults = "".join(f", {p}={p}" for p in sorted(self.params))
+        self.params = None
+        self.lines.append(f"def {name}(cycle{defaults}):")
+        self.lines.extend(body)
+        self.lines.append("")
+
+
+def _emit_read(gen: _Codegen, lines: List[str], processor: TacoProcessor,
+               source, var: str, strict: bool, indent: str) -> Optional[str]:
+    """Emit the source-read lines for one move; returns the value
+    expression (a literal for immediates, *var* for port reads)."""
+    if isinstance(source, Immediate):
+        # truncate(imm) == imm: Immediate validates the 32-bit range
+        return repr(source.value)
+    assert isinstance(source, PortRef)
+    fu, port = processor.resolve(source)
+    if not port.readable():
+        lines.append(
+            f'{indent}raise SimulationError(f"cycle {{cycle}}: move reads '
+            f'write-only port {fu.name}.{port.name}")')
+        return None
+    port_var = gen.bind(f"_p_{_ident(fu.name)}_{_ident(port.name)}", port)
+    if strict:
+        lines.append(
+            f"{indent}if cycle < {port_var}.valid_from_cycle:")
+        lines.append(
+            f'{indent}    raise SimulationError(f"cycle {{cycle}}: '
+            f"{fu.name}.{port.name} not valid until cycle "
+            f'{{{port_var}.valid_from_cycle}}")')
+    lines.append(f"{indent}{var} = {port_var}.value")
+    return var
+
+
+# -- inline trigger semantics -------------------------------------------------
+#
+# Each emitter writes the body of one stock FU's ``_execute`` *plus* the
+# commit that would apply its results, specialised for the trigger port,
+# directly into the step function. They run during the write phase of
+# cycle ``c``; the interpreter would apply the same port values, the same
+# ``valid_from_cycle`` (= c + 1) and the same result bit at the start of
+# cycle ``c + 1`` — and no read, guard or tick can observe the difference
+# in between. An emitter returns False to decline (unknown trigger port),
+# sending the caller to the generic pending-queue path.
+
+def _port_var(gen: _Codegen, fu: FunctionalUnit, port_name: str) -> str:
+    return gen.bind(f"_p_{_ident(fu.name)}_{_ident(port_name)}",
+                    fu.ports[port_name])
+
+
+def _emit_result(lines: List[str], indent: str, port_var: str,
+                 value_expr: str) -> None:
+    lines.append(f"{indent}{port_var}.value = {value_expr}")
+    lines.append(f"{indent}{port_var}.valid_from_cycle = cycle + 1")
+
+
+def _emit_counter(gen, lines, fu, fu_var, trigger, value, indent):
+    exprs = {"t_add": f"({value} + {_port_var(gen, fu, 'o')}.value)"
+                      f" & {WORD_MASK}",
+             "t_sub": f"({value} - {_port_var(gen, fu, 'o')}.value)"
+                      f" & {WORD_MASK}",
+             "t_inc": f"({value} + 1) & {WORD_MASK}",
+             "t_dec": f"({value} - 1) & {WORD_MASK}"}
+    if trigger not in exprs:
+        return False
+    stop = _port_var(gen, fu, "o_stop")
+    lines.append(f"{indent}_r = {exprs[trigger]}")
+    _emit_result(lines, indent, _port_var(gen, fu, "r"), "_r")
+    lines.append(f"{indent}{fu_var}.result_bit = _r == {stop}.value")
+    return True
+
+
+_COMPARATOR_OPS = {"t_eq": "==", "t_ne": "!=", "t_lt": "<",
+                   "t_le": "<=", "t_gt": ">", "t_ge": ">="}
+
+
+def _emit_comparator(gen, lines, fu, fu_var, trigger, value, indent):
+    op = _COMPARATOR_OPS.get(trigger)
+    if op is None:
+        return False
+    lines.append(f"{indent}_b = {value} {op} "
+                 f"{_port_var(gen, fu, 'o')}.value")
+    _emit_result(lines, indent, _port_var(gen, fu, "r"), "1 if _b else 0")
+    lines.append(f"{indent}{fu_var}.result_bit = _b")
+    return True
+
+
+def _emit_matcher(gen, lines, fu, fu_var, trigger, value, indent):
+    if trigger != "t":
+        return False
+    lines.append(f"{indent}_b = (({value} ^ "
+                 f"{_port_var(gen, fu, 'o_ref')}.value) & "
+                 f"{_port_var(gen, fu, 'o_mask')}.value) == 0")
+    _emit_result(lines, indent, _port_var(gen, fu, "r"), "1 if _b else 0")
+    lines.append(f"{indent}{fu_var}.result_bit = _b")
+    return True
+
+
+def _emit_masker(gen, lines, fu, fu_var, trigger, value, indent):
+    val = _port_var(gen, fu, "o_val")
+    if trigger == "t":
+        mask = _port_var(gen, fu, "o_mask")
+        expr = (f"({value} & ~{mask}.value) | "
+                f"({val}.value & {mask}.value)")
+    elif trigger == "t_and":
+        expr = f"{value} & {val}.value"
+    elif trigger == "t_or":
+        expr = f"{value} | {val}.value"
+    elif trigger == "t_xor":
+        expr = f"{value} ^ {val}.value"
+    else:
+        return False
+    lines.append(f"{indent}_r = {expr}")
+    _emit_result(lines, indent, _port_var(gen, fu, "r"), "_r")
+    lines.append(f"{indent}{fu_var}.result_bit = _r != 0")
+    return True
+
+
+def _emit_shifter(gen, lines, fu, fu_var, trigger, value, indent):
+    if trigger not in ("t_sll", "t_srl", "t_sra"):
+        return False
+    lines.append(f"{indent}_a = {_port_var(gen, fu, 'o')}.value & 31")
+    if trigger == "t_sll":
+        lines.append(f"{indent}_r = ({value} << _a) & {WORD_MASK}")
+    elif trigger == "t_srl":
+        lines.append(f"{indent}_r = {value} >> _a")
+    else:  # arithmetic: sign-extend bit 31 before the shift
+        lines.append(f"{indent}if {value} & 0x80000000:")
+        lines.append(f"{indent}    _r = (({value} - 0x100000000) >> _a)"
+                     f" & {WORD_MASK}")
+        lines.append(f"{indent}else:")
+        lines.append(f"{indent}    _r = {value} >> _a")
+    _emit_result(lines, indent, _port_var(gen, fu, "r"), "_r")
+    lines.append(f"{indent}{fu_var}.result_bit = _r != 0")
+    return True
+
+
+def _emit_mmu(gen, lines, fu, fu_var, trigger, value, indent):
+    if trigger not in ("t_read", "t_write"):
+        return False
+    mem = gen.bind(f"_m_{_ident(fu.name)}", fu.memory)
+    words = gen.bind(f"_mw_{_ident(fu.name)}", fu.memory._words)
+    size = len(fu.memory)
+    if trigger == "t_read":
+        address = value
+    else:
+        address = "_adr"
+        lines.append(
+            f"{indent}_adr = {_port_var(gen, fu, 'o_addr')}.value")
+    # port values are masked non-negative, so only the upper bound can trip
+    lines.append(f"{indent}if {address} >= {size}:")
+    lines.append(f'{indent}    raise SimulationError(f"data memory access '
+                 f'out of range: {{{address}:#x}} (size {size} words)")')
+    if trigger == "t_read":
+        lines.append(f"{indent}{mem}.reads += 1")
+        _emit_result(lines, indent, _port_var(gen, fu, "r"),
+                     f"{words}[{address}]")
+    else:
+        lines.append(f"{indent}{mem}.writes += 1")
+        lines.append(f"{indent}{words}[_adr] = {value}")
+    lines.append(f"{indent}{fu_var}.result_bit = True")
+    return True
+
+
+def _emit_checksum(gen, lines, fu, fu_var, trigger, value, indent):
+    if trigger == "t_clear":
+        lines.append(f"{indent}_acc = 0")
+    elif trigger == "t_add":
+        lines.append(f"{indent}_acc = {fu_var}._accumulator + "
+                     f"({value} >> 16) + ({value} & 0xFFFF)")
+        lines.append(f"{indent}while _acc >> 16:")
+        lines.append(f"{indent}    _acc = (_acc & 0xFFFF) + (_acc >> 16)")
+    else:
+        return False
+    lines.append(f"{indent}{fu_var}._accumulator = _acc")
+    _emit_result(lines, indent, _port_var(gen, fu, "r_sum"), "_acc")
+    _emit_result(lines, indent, _port_var(gen, fu, "r_cksum"),
+                 "~_acc & 0xFFFF")
+    lines.append(f"{indent}{fu_var}.result_bit = _acc == 0xFFFF")
+    return True
+
+
+def _emit_liu(gen, lines, fu, fu_var, trigger, value, indent):
+    if trigger not in ("t_get", "t_set"):
+        return False
+    # configure() replaces the word list, so fetch it through the FU
+    lines.append(f"{indent}_lw = {fu_var}._words")
+    if trigger == "t_get":
+        lines.append(f"{indent}if {value} >= len(_lw):")
+        lines.append(f'{indent}    raise SimulationError(f"cycle '
+                     f'{{cycle}}: LIU index {{{value}}} out of range '
+                     f'({{len(_lw)}} words configured)")')
+        _emit_result(lines, indent, _port_var(gen, fu, "r"),
+                     f"_lw[{value}] & {WORD_MASK}")
+    else:
+        lines.append(f"{indent}_i = {_port_var(gen, fu, 'o_idx')}.value")
+        lines.append(f"{indent}if _i >= len(_lw):")
+        lines.append(f'{indent}    raise SimulationError(f"cycle '
+                     f'{{cycle}}: LIU index {{_i}} out of range")')
+        lines.append(f"{indent}_lw[_i] = {value}")
+    lines.append(f"{indent}{fu_var}.result_bit = True")
+    return True
+
+
+def _emit_ippu(gen, lines, fu, fu_var, trigger, value, indent):
+    if trigger != "t_pop":
+        return False
+    queue = gen.bind(f"_q_{_ident(fu.name)}", fu._queue)
+    lines.append(f"{indent}if not {queue}:")
+    lines.append(f'{indent}    raise SimulationError(f"cycle {{cycle}}: '
+                 f'ippu popped with an empty queue (guard on the ippu '
+                 f'result bit before popping)")')
+    lines.append(f"{indent}_ptr, _ifc = {queue}.popleft()")
+    _emit_result(lines, indent, _port_var(gen, fu, "r_ptr"), "_ptr")
+    _emit_result(lines, indent, _port_var(gen, fu, "r_iface"), "_ifc")
+    return True  # t_pop completion carries no result bit
+
+
+def _emit_oppu(gen, lines, fu, fu_var, trigger, value, indent):
+    pointer = f"{_port_var(gen, fu, 'o_ptr')}.value"
+    if trigger == "t_send":
+        queue = gen.bind(f"_q_{_ident(fu.name)}", fu._queue)
+        lines.append(f"{indent}if {value} >= {len(fu.line_cards)}:")
+        lines.append(f'{indent}    raise SimulationError(f"cycle '
+                     f'{{cycle}}: oppu told to send on nonexistent '
+                     f'interface {{{value}}}")')
+        lines.append(f"{indent}{queue}.append(({pointer}, {value}))")
+        lines.append(f"{indent}{fu_var}.result_bit = True")
+    elif trigger == "t_drop":
+        slots = gen.bind(f"_s_{_ident(fu.name)}", fu.slots)
+        lines.append(f"{indent}{slots}.release({pointer})")
+        lines.append(f"{indent}{fu_var}.result_bit = False")
+    elif trigger == "t_punt":
+        punted = gen.bind(f"_pu_{_ident(fu.name)}", fu.punted)
+        lines.append(f"{indent}{punted}.append({pointer})")
+        lines.append(f"{indent}{fu_var}.result_bit = False")
+    else:
+        return False
+    return True
+
+
+def _emit_nc(gen, lines, fu, fu_var, trigger, value, indent):
+    if trigger == "pc":
+        lines.append(f"{indent}{fu_var}._jump_target = {value}")
+        lines.append(f"{indent}{fu_var}.jumps_taken += 1")
+    elif trigger == "halt":
+        lines.append(f"{indent}{fu_var}.halted = True")
+    else:
+        return False
+    return True
+
+
+_EMITTERS: Optional[Dict[type, Callable]] = None
+
+
+def _trigger_emitters() -> Dict[type, Callable]:
+    """Exact-class dispatch table for the inline trigger emitters.
+
+    Imported lazily: the FU modules import routing/router machinery that
+    must not load while :mod:`repro.tta` itself is initialising. A
+    subclass of a stock FU never matches (its overridden hooks would be
+    skipped); it takes the generic ``_execute`` path instead.
+    """
+    global _EMITTERS
+    if _EMITTERS is None:
+        from repro.tta.controller import NetworkController
+        from repro.tta.fus.checksum import ChecksumUnit
+        from repro.tta.fus.comparator import Comparator
+        from repro.tta.fus.counter import Counter
+        from repro.tta.fus.ippu import InputPreprocessingUnit
+        from repro.tta.fus.liu import LocalInfoUnit
+        from repro.tta.fus.masker import Masker
+        from repro.tta.fus.matcher import Matcher
+        from repro.tta.fus.mmu import MemoryManagementUnit
+        from repro.tta.fus.oppu import OutputPostprocessingUnit
+        from repro.tta.fus.shifter import Shifter
+        _EMITTERS = {
+            Counter: _emit_counter,
+            Comparator: _emit_comparator,
+            Matcher: _emit_matcher,
+            Masker: _emit_masker,
+            Shifter: _emit_shifter,
+            MemoryManagementUnit: _emit_mmu,
+            ChecksumUnit: _emit_checksum,
+            LocalInfoUnit: _emit_liu,
+            InputPreprocessingUnit: _emit_ippu,
+            OutputPostprocessingUnit: _emit_oppu,
+            NetworkController: _emit_nc,
+        }
+    return _EMITTERS
+
+
+def _emit_write(gen: _Codegen, lines: List[str], processor: TacoProcessor,
+                move, value_expr: str, indent: str,
+                tracked: Dict[str, FunctionalUnit]) -> None:
+    """Emit the destination-write lines, mirroring FunctionalUnit.write.
+
+    Trigger writes to stock latency-1 FUs inline the operation itself;
+    anything else lands in *tracked* and keeps the pending-queue path.
+    """
+    fu, port = processor.resolve(move.destination)
+    if not port.writable():
+        lines.append(
+            f'{indent}raise SimulationError(f"cycle {{cycle}}: move writes '
+            f'read-only port {fu.name}.{port.name}")')
+        return
+    port_var = gen.bind(f"_p_{_ident(fu.name)}_{_ident(port.name)}", port)
+    if value_expr.isdigit():  # immediate: already on the 32-bit datapath
+        stored = value_expr
+        lines.append(f"{indent}{port_var}.value = {stored}")
+    else:
+        stored = f"_w{port_var}"
+        lines.append(f"{indent}{stored} = {value_expr} & {WORD_MASK}")
+        lines.append(f"{indent}{port_var}.value = {stored}")
+    if port.kind is not PortKind.TRIGGER:
+        return
+    fu_var = gen.bind(f"_f_{_ident(fu.name)}", fu)
+    if not fu.pipelined:
+        lines.append(f"{indent}if cycle < {fu_var}._busy_until:")
+        lines.append(
+            f'{indent}    raise SimulationError(f"cycle {{cycle}}: '
+            f"structural hazard — {fu.name} busy until cycle "
+            f'{{{fu_var}._busy_until}}")')
+    lines.append(f"{indent}{fu_var}.trigger_count += 1")
+    # fu.latency is fixed for the life of a machine (the CAM's search
+    # latency is applied at build time via the config)
+    lines.append(f"{indent}{fu_var}._busy_until = cycle + {fu.latency}")
+    emitter = _trigger_emitters().get(type(fu))
+    if emitter is not None and fu.latency == 1 and \
+            emitter(gen, lines, fu, fu_var, move.destination.port,
+                    stored, indent):
+        return
+    lines.append(f"{indent}{fu_var}._execute({move.destination.port!r}, "
+                 f"{stored}, cycle)")
+    tracked[fu.name] = fu
+
+
+def _emit_step(gen: _Codegen, processor: TacoProcessor, pc: int,
+               instruction, strict: bool,
+               tracked: Dict[str, FunctionalUnit]) -> str:
+    """Emit ``_step<pc>``: guards, reads, then writes in bus order.
+
+    Returns the function name. The function returns the number of moves
+    its guards squashed this execution (0 for guard-free instructions).
+    """
+    name = f"_step{pc}"
+    slots = [(bus, move) for bus, move in enumerate(instruction.moves)
+             if move is not None]
+    guarded = any(move.guard is not None for _, move in slots)
+    gen.begin_function()
+    body: List[str] = []
+    if not slots:
+        body.append("    return 0")
+        gen.end_function(name, body)
+        return name
+    if guarded:
+        body.append("    _sq = 0")
+    # Phase 3 of the interpreter step: guard evaluation + source reads,
+    # in bus order (reads see start-of-cycle values; port reads have no
+    # side effects, but order still fixes which strict violation fires
+    # first).
+    values: Dict[int, Optional[str]] = {}
+    for bus, move in slots:
+        if move.guard is None:
+            values[bus] = _emit_read(gen, body, processor, move.source,
+                                     f"_v{bus}", strict, "    ")
+            continue
+        guard_fu = processor.fu(move.guard.fu)
+        guard_var = gen.bind(f"_f_{_ident(guard_fu.name)}", guard_fu)
+        test = f"not {guard_var}.result_bit" if move.guard.negate \
+            else f"{guard_var}.result_bit"
+        body.append(f"    if {test}:")
+        body.append(f"        _g{bus} = True")
+        values[bus] = _emit_read(gen, body, processor, move.source,
+                                 f"_v{bus}", strict, "        ")
+        body.append("    else:")
+        body.append(f"        _g{bus} = False")
+        body.append("        _sq += 1")
+    # Phase 4: destination writes in bus order, squashed moves skipped.
+    for bus, move in slots:
+        value_expr = values[bus]
+        if move.guard is not None:
+            body.append(f"    if _g{bus}:")
+            if value_expr is not None:
+                _emit_write(gen, body, processor, move, value_expr,
+                            "        ", tracked)
+            else:  # the read raised; the guard branch cannot be reached
+                body.append("        pass")
+        elif value_expr is not None:
+            _emit_write(gen, body, processor, move, value_expr, "    ",
+                        tracked)
+    body.append(f"    return {'_sq' if guarded else '0'}")
+    gen.end_function(name, body)
+    return name
+
+
+def _tick_overriders(processor: TacoProcessor) -> List[FunctionalUnit]:
+    """FUs with a real (non-base) tick, in processor order."""
+    return [fu for fu in processor.fus.values()
+            if type(fu).tick is not FunctionalUnit.tick]
+
+
+def _emit_drive(gen: _Codegen, processor: TacoProcessor,
+                step_names: Sequence[str],
+                commit_fus: Sequence[FunctionalUnit]) -> None:
+    """Emit the per-cycle driver: the interpreter's step() skeleton with
+    the commit scan, dispatch, and autonomous ticks unrolled."""
+    length = len(step_names)
+    gen.lines.append("_steps = (" + ", ".join(step_names) + ",)")
+    gen.lines.append("")
+    gen.begin_function()
+    gen.params.add("_steps")
+    nc_var = gen.bind(f"_f_{_ident(processor.nc.name)}", processor.nc)
+    body: List[str] = []
+    emit = body.append
+    emit("    sim, max_cycles, visits = cycle")
+    emit("    cycle = sim.cycle")
+    emit(f"    pc = {nc_var}.pc")
+    emit("    _append = sim.pc_history.append")
+    emit("    squashed = 0")
+    # The ippu admits one pending datagram per tick; once every line
+    # card's input queue has drained (nothing delivers mid-run) its tick
+    # reduces to refreshing the queue-occupancy result bit.
+    ippu_fast: Dict[FunctionalUnit, str] = {}
+    for fu in _tick_overriders(processor):
+        fu_var = gen.bind(f"_f_{_ident(fu.name)}", fu)
+        if fu.kind == "ippu":
+            gen.bind(f"_q_{_ident(fu.name)}", fu._queue)
+            emit(f"    _admit{fu_var} = {fu_var}.datagrams_admitted"
+                 f" + sum(card.pending_depth()"
+                 f" for card in {fu_var}.line_cards)")
+            ippu_fast[fu] = fu_var
+    emit("    try:")
+    emit(f"        while not {nc_var}.halted:")
+    emit("            if cycle >= max_cycles:")
+    emit("                _raise_budget(sim, max_cycles, pc)")
+    # Phase 1: commit matured results. Only generic (non-inlined)
+    # trigger targets can carry pending completions.
+    for fu in commit_fus:
+        fu_var = gen.bind(f"_f_{_ident(fu.name)}", fu)
+        emit(f"            if {fu_var}._pending: {fu_var}.commit(cycle)")
+    # Phase 2: fetch (bounds check + pc trace; the dispatch below *is*
+    # the decoded fetch).
+    emit(f"            if pc < 0 or pc >= {length}:")
+    emit('                raise SimulationError(')
+    emit(f'                    f"program counter out of range: {{pc}} '
+         f'(program has {length} instructions)")')
+    emit("            _append(pc)")
+    # Phases 3+4: the specialised per-instruction function.
+    emit("            squashed += _steps[pc](cycle)")
+    emit("            visits[pc] += 1")
+    # Phase 5: autonomous ticks in processor order, then the NC advance.
+    for fu in _tick_overriders(processor):
+        fu_var = gen.bind(f"_f_{_ident(fu.name)}", fu)
+        if fu in ippu_fast:
+            queue_var = gen.bind(f"_q_{_ident(fu.name)}", fu._queue)
+            emit(f"            if {fu_var}.datagrams_admitted < "
+                 f"_admit{fu_var}:")
+            emit(f"                {fu_var}.tick(cycle)")
+            emit("            else:")
+            emit(f"                {fu_var}.result_bit = "
+                 f"not not {queue_var}")
+        elif fu.kind == "oppu":
+            queue_var = gen.bind(f"_q_{_ident(fu.name)}", fu._queue)
+            emit(f"            if {queue_var}: {fu_var}.tick(cycle)")
+        else:
+            emit(f"            {fu_var}.tick(cycle)")
+    emit(f"            jump = {nc_var}._jump_target")
+    emit("            if jump is None:")
+    emit("                pc += 1")
+    emit("            else:")
+    emit("                pc = jump")
+    emit(f"                {nc_var}._jump_target = None")
+    emit("            cycle += 1")
+    emit("    finally:")
+    emit("        sim.cycle = cycle")
+    emit(f"        {nc_var}.pc = pc")
+    emit("        sim._drive_squashed = squashed")
+    gen.end_function("_drive", body)
+
+
+#: code objects for already-seen schedule sources; the source is fully
+#: determined by (program, processor shape, strict), so a campaign that
+#: sweeps one configuration pays CPython's compile() once
+_CODE_CACHE: Dict[str, object] = {}
+_CODE_CACHE_MAX = 64
+
+
+def compile_program(processor: TacoProcessor, program: ProgramMemory,
+                    strict: bool = True) -> _CompiledProgram:
+    """Pre-decode *program* against *processor* into a flat schedule."""
+    processor.validate_program(program)
+    gen = _Codegen()
+    step_names = []
+    occupancy = []
+    tracked: Dict[str, FunctionalUnit] = {}
+    for pc, instruction in enumerate(program):
+        step_names.append(_emit_step(gen, processor, pc, instruction,
+                                     strict, tracked))
+        occupancy.append(tuple(
+            bus for bus, move in enumerate(instruction.moves)
+            if move is not None))
+    commit_fus = [fu for name, fu in processor.fus.items()
+                  if name in tracked]
+    untracked = tuple(fu for name, fu in processor.fus.items()
+                      if name not in tracked)
+    _emit_drive(gen, processor, step_names, commit_fus)
+    source = "\n".join(gen.lines)
+    code = _CODE_CACHE.get(source)
+    if code is None:
+        if len(_CODE_CACHE) >= _CODE_CACHE_MAX:
+            _CODE_CACHE.clear()
+        code = compile(source, "<tta-compiled-schedule>", "exec")
+        _CODE_CACHE[source] = code
+    exec(code, gen.namespace)  # noqa: S102 - generated from the program
+    return _CompiledProgram(
+        drive=gen.namespace["_drive"], length=len(program),
+        bus_count=program.width, occupancy=tuple(occupancy),
+        untracked_fus=untracked)
+
+
+class CompiledSimulator(Simulator):
+    """Drop-in :class:`Simulator` that runs the pre-decoded schedule.
+
+    ``step()``/``run_cycles()`` keep the inherited per-cycle interpreter
+    (single-stepping is a debugging activity); ``run()`` uses the
+    compiled schedule unless an observation hook forces a fallback.
+    """
+
+    backend_name = "compiled"
+
+    def __init__(self, processor: TacoProcessor, program: ProgramMemory,
+                 strict: bool = True):
+        super().__init__(processor, program, strict=strict)
+        self._compiled: Optional[_CompiledProgram] = None
+        self._drive_squashed = 0
+
+    # -- fallback ---------------------------------------------------------------
+
+    def _fallback_reason(self) -> Optional[str]:
+        """Why this run must take the interpreter (None = compiled OK)."""
+        reasons = []
+        if self.move_hook is not None:
+            reasons.append("move_hook")
+        if self.transport_filter is not None:
+            reasons.append("transport_filter")
+        return "+".join(reasons) if reasons else None
+
+    def _note_fallback(self, reason: str) -> None:
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "simulator_fallback_total",
+                "compiled-backend runs that fell back to the interpreter",
+                ("reason",)).inc(reason=reason)
+
+    # -- public API -------------------------------------------------------------
+
+    def run(self, max_cycles: int = DEFAULT_MAX_CYCLES):
+        reason = self._fallback_reason()
+        if reason is None:
+            if self._compiled is None:
+                self._compiled = compile_program(
+                    self.processor, self.program, strict=self.strict)
+            if any(fu._pending for fu in self._compiled.untracked_fus):
+                # Stepping the interpreter first (or a different program
+                # on the same processor) left completions pending on an
+                # FU this schedule applies eagerly or never triggers;
+                # only the interpreter's full commit scan retires those.
+                reason = "pending_state"
+        if reason is not None:
+            self._note_fallback(reason)
+            self.metrics_backend = "interpreter"
+            return super().run(max_cycles)
+        self.metrics_backend = "compiled"
+        registry = get_registry()
+        start = (registry.time(), self.cycle, self.report.moves_executed,
+                 dict(self.report.hazards)) if registry.enabled else None
+        visits = [0] * self._compiled.length
+        self._drive_squashed = 0
+        try:
+            self._compiled.drive((self, max_cycles, visits))
+        finally:
+            self._finalize(visits)
+            if start is not None:
+                self._publish_run_metrics(registry, *start)
+        self.report.halted = True
+        return self.report
+
+    # -- batched accounting ----------------------------------------------------
+
+    def _finalize(self, visits: List[int]) -> None:
+        """Reduce per-pc visit counts into the interpreter's report
+        totals (numpy when active, identical plain-Python otherwise)."""
+        compiled = self._compiled
+        report = self.report
+        report.cycles = self.cycle
+        report.instructions_fetched += sum(visits)
+        report.moves_squashed += self._drive_squashed
+        np_mod = _numpy() if numpy_active() else None
+        if np_mod is not None:
+            matrix, moves_vec = compiled.numpy_tables(np_mod)
+            counts = np_mod.asarray(visits, dtype=np_mod.int64)
+            busy = counts @ matrix
+            issued = int(counts @ moves_vec)
+            for bus, extra in enumerate(busy.tolist()):
+                report.bus_busy_cycles[bus] += extra
+        else:
+            issued = 0
+            busy_acc = [0] * compiled.bus_count
+            moves_per_pc = compiled.moves_per_pc
+            occupancy = compiled.occupancy
+            for pc, count in enumerate(visits):
+                if not count:
+                    continue
+                issued += count * moves_per_pc[pc]
+                for bus in occupancy[pc]:
+                    busy_acc[bus] += count
+            for bus, extra in enumerate(busy_acc):
+                report.bus_busy_cycles[bus] += extra
+        # every occupied slot was either squashed or executed
+        report.moves_executed += issued - self._drive_squashed
+        for name, fu in self.processor.fus.items():
+            report.fu_triggers[name] = fu.trigger_count

@@ -35,9 +35,20 @@ from repro.tta.stats import SimulationReport
 
 DEFAULT_MAX_CYCLES = 2_000_000
 
+#: the one cycle ceiling every end-to-end evaluation path shares — the
+#: forwarding runner, the DSE evaluator, and the CLI's ``--cycle-budget``
+#: all resolve their defaults to this constant (a CAM fixed point at
+#: latency > 1 runs several times longer than a latency-1 pass, so the
+#: paths must agree or they classify the same config differently)
+DEFAULT_RUN_MAX_CYCLES = 5_000_000
+
 
 class Simulator:
     """Drives a :class:`TacoProcessor` through a program."""
+
+    #: registry name of this execution backend (metrics label value);
+    #: see :mod:`repro.tta.backends`
+    backend_name = "interpreter"
 
     def __init__(self, processor: TacoProcessor, program: ProgramMemory,
                  strict: bool = True):
@@ -60,6 +71,10 @@ class Simulator:
         #: transport exactly as it happened on the bus, faults included,
         #: the way a hardware bus monitor would.
         self.transport_filter = None
+        #: which backend actually executed the most recent ``run()`` —
+        #: differs from :attr:`backend_name` when the compiled backend
+        #: fell back to the interpreter because a hook was attached
+        self.metrics_backend = self.backend_name
 
     # -- public API ---------------------------------------------------------------
 
@@ -94,24 +109,28 @@ class Simulator:
         elapsed = registry.time() - t0
         cycles = self.cycle - start_cycles
         moves = self.report.moves_executed - start_moves
+        backend = self.metrics_backend
         registry.counter(
-            "tta_runs_total", "completed Simulator.run calls").inc()
+            "tta_runs_total", "completed Simulator.run calls",
+            ("backend",)).inc(backend=backend)
         registry.counter(
-            "tta_cycles_total", "simulated clock cycles").inc(cycles)
+            "tta_cycles_total", "simulated clock cycles",
+            ("backend",)).inc(cycles, backend=backend)
         registry.counter(
-            "tta_moves_total", "executed transports (moves)").inc(moves)
+            "tta_moves_total", "executed transports (moves)",
+            ("backend",)).inc(moves, backend=backend)
         registry.histogram(
-            "tta_run_seconds", "wall-clock time per Simulator.run"
-        ).observe(elapsed)
+            "tta_run_seconds", "wall-clock time per Simulator.run",
+            ("backend",)).observe(elapsed, backend=backend)
         if elapsed > 0:
             registry.gauge(
                 "tta_cycles_per_second",
-                "simulation speed of the most recent run"
-            ).set(cycles / elapsed)
+                "simulation speed of the most recent run", ("backend",)
+            ).set(cycles / elapsed, backend=backend)
             registry.gauge(
                 "tta_moves_per_second",
-                "transport throughput of the most recent run"
-            ).set(moves / elapsed)
+                "transport throughput of the most recent run", ("backend",)
+            ).set(moves / elapsed, backend=backend)
         hazard_counter = None
         for kind, count in self.report.hazards.items():
             delta = count - start_hazards.get(kind, 0)

@@ -4,8 +4,22 @@ The cycle-accurate simulator already verifies against the functional
 golden model; this package adds the *differential* layer used by
 reliability studies: run the same workload with and without injected
 faults and classify every divergence (see :mod:`repro.verify.oracle`).
+
+:mod:`repro.verify.backends` applies the same differential discipline
+to execution engines: it proves the compiled fast backend bit-identical
+to the reference interpreter across the Table 1 configuration grid.
 """
 
+from repro.verify.backends import (
+    BackendComparison,
+    BackendEquivalenceReport,
+    REFERENCE_BACKEND,
+    diff_signatures,
+    run_signature,
+    signature_bytes,
+    table1_grid,
+    verify_backend,
+)
 from repro.verify.oracle import (
     HANG_BUDGET_MULTIPLIER,
     MIN_HANG_BUDGET,
@@ -24,4 +38,7 @@ __all__ = [
     "OUTCOME_CRASH", "OUTCOME_DETECTED", "OUTCOME_HANG",
     "OUTCOME_MASKED", "OUTCOME_SDC", "OUTCOMES",
     "DifferentialOracle", "TrialOutcome",
+    "BackendComparison", "BackendEquivalenceReport", "REFERENCE_BACKEND",
+    "diff_signatures", "run_signature", "signature_bytes", "table1_grid",
+    "verify_backend",
 ]

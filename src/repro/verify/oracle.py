@@ -34,7 +34,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.dse.config import ArchitectureConfiguration
 from repro.errors import CycleBudgetError, ReproError
 from repro.faults.datapath import DatapathFaultInjector
-from repro.programs.runner import ForwardingRunResult, run_forwarding
+from repro.programs.runner import (
+    ForwardingRunResult,
+    RunOptions,
+    run_forwarding,
+)
 from repro.routing.entry import RouteEntry
 
 OUTCOME_MASKED = "masked"
@@ -132,11 +136,17 @@ class DifferentialOracle:
     def __init__(self, config: ArchitectureConfiguration,
                  routes: Sequence[RouteEntry],
                  packets: Sequence[Tuple[int, bytes]],
-                 max_cycles: Optional[int] = None):
+                 max_cycles: Optional[int] = None,
+                 backend: Optional[str] = None):
         self.config = config
         self.routes = list(routes)
         self.packets = list(packets)
         self._max_cycles = max_cycles
+        #: requested simulation engine (the hazard detector and the
+        #: fault injector are hooks, so the compiled backend will fall
+        #: back to the interpreter transparently — the knob is threaded
+        #: anyway so every runner shares one selection path)
+        self.backend = backend
         self._golden: Optional[ForwardingRunResult] = None
         self._golden_error: Optional[BaseException] = None
         self._golden_signature: Optional[Dict[str, object]] = None
@@ -158,7 +168,8 @@ class DifferentialOracle:
             try:
                 result = run_forwarding(
                     self.config, self.routes, self.packets,
-                    verify=True, detect_hazards=True)
+                    options=RunOptions(backend=self.backend, verify=True,
+                                       detect_hazards=True))
             except ReproError as exc:
                 self._golden_error = exc
                 raise
@@ -200,9 +211,10 @@ class DifferentialOracle:
         try:
             result = run_forwarding(
                 self.config, self.routes, self.packets,
-                max_cycles=self.hang_budget,
-                verify=False, detect_hazards=True,
-                instrument=injector.attach)
+                options=RunOptions(backend=self.backend,
+                                   max_cycles=self.hang_budget,
+                                   verify=False, detect_hazards=True,
+                                   instrument=injector.attach))
         except CycleBudgetError as exc:
             return self._outcome(
                 injector, OUTCOME_HANG,

@@ -205,13 +205,26 @@ CONFIG = ArchitectureConfiguration(bus_count=3, table_kind="sequential")
 class TestIntegration:
     def test_evaluation_publishes_simulation_metrics(self, registry):
         api.evaluate(CONFIG, entries=20, packets=2)
-        assert registry.counter("tta_runs_total").value() > 0
-        assert registry.counter("tta_cycles_total").value() > 0
-        assert registry.counter("tta_moves_total").value() > 0
+        runs = registry.counter("tta_runs_total", labels=("backend",))
+        assert runs.value(backend="interpreter") > 0
+        cycles = registry.counter("tta_cycles_total", labels=("backend",))
+        assert cycles.value(backend="interpreter") > 0
+        moves = registry.counter("tta_moves_total", labels=("backend",))
+        assert moves.value(backend="interpreter") > 0
         lookups = registry.counter("routing_lookups_total",
                                    labels=("kind", "outcome"))
         assert lookups.value(kind="sequential", outcome="hit") > 0
-        assert registry.histogram("tta_run_seconds").count() > 0
+        seconds = registry.histogram("tta_run_seconds",
+                                     labels=("backend",))
+        assert seconds.count(backend="interpreter") > 0
+
+    def test_backend_label_splits_simulation_metrics(self, registry):
+        api.evaluate(CONFIG, entries=20, packets=2, backend="compiled")
+        runs = registry.counter("tta_runs_total", labels=("backend",))
+        assert runs.value(backend="compiled") > 0
+        assert runs.value(backend="interpreter") == 0
+        cycles = registry.counter("tta_cycles_total", labels=("backend",))
+        assert cycles.value(backend="compiled") > 0
 
     def test_results_identical_with_metrics_on_and_off(self, registry):
         enabled = api.evaluate(CONFIG, entries=20, packets=2)
