@@ -1,0 +1,105 @@
+"""Bulk-load fast paths: the ≥50× claim at a million routes.
+
+The per-insert path on the sequential table is O(n²): every ``insert``
+pays a duplicate scan plus a sorted-position scan and tail shift. The
+bulk ``load()`` is one merge plus one sort. Timing the per-insert path
+at 10⁶ routes directly is infeasible (~10¹² element operations), so the
+benchmark measures it at two smaller sizes, fits the quadratic, and
+compares the extrapolation against the *measured* bulk load of the full
+million — a deliberately conservative comparison, since the quadratic
+fit ignores the per-insert path's constant factors at scale (allocator
+pressure, cache misses).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.routing import TABLE_KINDS, make_table
+from repro.workload.fib import synthesize_fib, zipf_addresses
+
+MILLION = 1_000_000
+
+
+@pytest.fixture(scope="module")
+def million_routes():
+    return synthesize_fib(MILLION, seed=2026)
+
+
+def _time(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def test_sequential_bulk_load_50x_faster_at_a_million(million_routes):
+    # Quadratic fit of the per-insert path from two measured sizes.
+    samples = {}
+    for count in (1_000, 2_000):
+        routes = million_routes[:count]
+        table = make_table("sequential", capacity=count)
+
+        def build(table=table, routes=routes):
+            for route in routes:
+                table.insert(route)
+
+        samples[count] = _time(build)
+    # t(n) = c * n^2; take the larger-n coefficient (less overhead bias)
+    coefficient = samples[2_000] / 2_000 ** 2
+    projected_per_insert = coefficient * MILLION ** 2
+
+    bulk = make_table("sequential", capacity=MILLION)
+    bulk_seconds = _time(lambda: bulk.load(million_routes))
+    assert len(bulk) == MILLION
+
+    ratio = projected_per_insert / bulk_seconds
+    print(f"\nper-insert measured: {samples[1_000]:.3f}s @ 1k, "
+          f"{samples[2_000]:.3f}s @ 2k")
+    print(f"per-insert projected @ 1M: {projected_per_insert:,.0f}s; "
+          f"bulk measured @ 1M: {bulk_seconds:.2f}s; ratio {ratio:,.0f}x")
+    assert ratio >= 50
+
+
+def test_bulk_load_beats_per_insert_at_measurable_scale(million_routes):
+    """Direct (no extrapolation) comparison at a size where both paths
+    are measurable, for every implementation with a bulk fast path."""
+    count = 4_000
+    routes = million_routes[:count]
+    print()
+    for kind in TABLE_KINDS:
+        per_insert_table = make_table(kind, capacity=count)
+
+        def build(table=per_insert_table):
+            for route in routes:
+                table.insert(route)
+
+        per_insert = _time(build)
+        bulk_table = make_table(kind, capacity=count)
+        bulk = _time(lambda table=bulk_table: table.load(routes))
+        print(f"{kind:<14} per-insert {per_insert:8.3f}s   "
+              f"bulk {bulk:8.3f}s   ({per_insert / bulk:6.1f}x)")
+        assert len(bulk_table) == len(per_insert_table)
+        # every kind's bulk path must at least not lose; the sequential
+        # scan must win big even at this modest size
+        assert bulk <= per_insert * 1.5
+        if kind == "sequential":
+            assert per_insert / bulk >= 20
+
+
+def test_million_route_lookup_scaling(million_routes):
+    """Mean lookup steps at 10⁶: the modern structures stay flat where
+    the paper's software options scale with n (the motivation for the
+    lookup-sweep campaign)."""
+    probes = zipf_addresses(million_routes, 500, seed=3)
+    steps = {}
+    for kind in ("multibit-trie", "bloom", "cam"):
+        table = make_table(kind, capacity=MILLION)
+        table.load(million_routes)
+        table.lookup_batch(probes)
+        steps[kind] = table.stats.mean_lookup_steps
+    print(f"\nmean steps @ 1M prefixes: {steps}")
+    assert steps["cam"] == 1.0
+    assert steps["multibit-trie"] <= 16
+    assert steps["bloom"] < 6

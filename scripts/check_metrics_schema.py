@@ -83,6 +83,13 @@ _LABEL_DOMAINS = (
     ("gauges", "tta_moves_per_second", "backend", "simulator_backend"),
     ("histograms", "tta_run_seconds", "backend", "simulator_backend"),
     ("counters", "simulator_fallback_total", "reason", "fallback_reason"),
+    ("counters", "routing_lookups_total", "kind", "routing_table_kind"),
+    ("counters", "routing_lookups_total", "outcome",
+     "routing_lookup_outcome"),
+    ("counters", "routing_lookup_steps_total", "kind", "routing_table_kind"),
+    ("counters", "routing_updates_total", "kind", "routing_table_kind"),
+    ("counters", "routing_updates_total", "op", "routing_update_op"),
+    ("counters", "routing_update_steps_total", "kind", "routing_table_kind"),
 )
 
 

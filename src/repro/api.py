@@ -59,6 +59,12 @@ from repro.dse.sdc import (
     SdcSweepResult,
     SdcSweepRunner,
 )
+from repro.dse.lookup_sweep import (
+    DEFAULT_LOOKUPS,
+    DEFAULT_PREFIX_COUNTS,
+    LookupSweepResult,
+    LookupSweepRunner,
+)
 from repro.dse.space import DesignSpace
 from repro.dse.table1 import Table1Row, generate_table1, render_table1
 from repro.faults.control import (
@@ -85,6 +91,7 @@ from repro.service import (
 __all__ = [
     "evaluate",
     "table1",
+    "lookup_sweep",
     "explore",
     "backends",
     "conformance",
@@ -108,6 +115,7 @@ __all__ = [
     "AssaultReport",
     "ConformanceReport",
     "JobRecord",
+    "LookupSweepResult",
     "ReplayReport",
     "ResilienceReport",
     "RunOptions",
@@ -199,6 +207,34 @@ def table1(*, entries: int = 100,
     return rows
 
 
+def lookup_sweep(*, kinds=None,
+                 prefix_counts=None,
+                 lookups: int = DEFAULT_LOOKUPS,
+                 seed: int = 2026,
+                 jobs: int = 1,
+                 journal: Optional[str] = None,
+                 resume: bool = False) -> LookupSweepResult:
+    """Scaling lookup sweep: every table kind at 10²–10⁶ prefixes.
+
+    Each ``(kind, prefix_count)`` cell synthesizes a BGP-shaped FIB
+    (:mod:`repro.workload.fib`), bulk-loads it, measures mean lookup
+    steps under Zipf-skewed traffic, and derives required clock / area /
+    power through the calibrated analytic models
+    (:mod:`repro.estimation.lookup`). Defaults sweep all five kinds at
+    ``(100, 1000, 10000, 100000, 1000000)`` prefixes.
+
+    ``jobs``/``journal``/``resume`` behave exactly as in :func:`table1`:
+    parallel, resumed, and sequential sweeps produce byte-identical
+    output.
+    """
+    runner = LookupSweepRunner(
+        kinds=kinds,
+        prefix_counts=prefix_counts or DEFAULT_PREFIX_COUNTS,
+        lookups=lookups, seed=seed, jobs=jobs, journal_path=journal,
+        resume=resume)
+    return runner.run()
+
+
 def explore(*, space: Optional[DesignSpace] = None,
             max_area: Optional[float] = None,
             max_power: Optional[float] = None,
@@ -260,7 +296,7 @@ def run_chaos(*, topology: str = "line",
 
 
 #: CLI-friendly aliases for routing-table kinds
-_TABLE_ALIASES = {"tree": "balanced-tree"}
+_TABLE_ALIASES = {"tree": "balanced-tree", "trie": "multibit-trie"}
 
 
 def conformance(*, table_kind: str = "sequential",

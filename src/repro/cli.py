@@ -2,7 +2,12 @@
 
 Subcommands:
 
-* ``table1`` — regenerate the paper's Table 1 (all nine rows);
+* ``table1`` — regenerate the paper's Table 1 (all nine rows;
+  ``--prefixes N`` swaps in a synthesized BGP-shaped FIB and ``--kinds
+  all`` adds the post-paper multibit-trie / Bloom rows);
+* ``lookup-sweep`` — the scaling study Table 1 cannot host: every
+  table kind against synthesized FIBs at 10²–10⁶ prefixes, measured
+  lookup steps fed through the calibrated clock/area/power models;
 * ``evaluate`` — evaluate one configuration;
 * ``explore`` — run the heuristic design-space explorer (future-work tool);
 * ``ripng`` — simulate RIPng convergence on a line/ring topology;
@@ -71,11 +76,12 @@ from repro.tta.backends import BACKEND_AUTO, available_backends
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
-    if args.command in ("table1", "explore"):
+    if args.command in ("table1", "explore", "lookup-sweep"):
         from repro.errors import CampaignError
+        handler = {"table1": _cmd_table1, "explore": _cmd_explore,
+                   "lookup-sweep": _cmd_lookup_sweep}[args.command]
         try:
-            return _cmd_table1(args) if args.command == "table1" \
-                else _cmd_explore(args)
+            return handler(args)
         except CampaignError as exc:
             print(f"campaign error: {exc}", file=sys.stderr)
             return 2
@@ -123,18 +129,56 @@ def _build_parser() -> argparse.ArgumentParser:
     table1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
     table1.add_argument("--entries", type=int, default=100,
                         help="routing table size (default 100)")
+    table1.add_argument("--prefixes", type=int, default=None, metavar="N",
+                        help="replace the paper workload with a "
+                             "synthesized BGP-shaped FIB of N prefixes "
+                             "(repro.workload.fib)")
+    table1.add_argument("--kinds", default="paper",
+                        choices=("paper", "all"),
+                        help="'paper' = the published three table "
+                             "options; 'all' adds multibit-trie and "
+                             "Bloom rows")
+    table1.add_argument("--seed", type=int, default=2026,
+                        help="FIB synthesis seed for --prefixes")
     table1.add_argument("--packets", type=int, default=12,
                         help="measurement batch size (default 12)")
     _add_backend_argument(table1)
     _add_campaign_arguments(table1)
     _add_output_argument(table1)
 
+    sweep = sub.add_parser(
+        "lookup-sweep",
+        help="scaling sweep: every table kind at 10^2..10^6 prefixes")
+    sweep.add_argument("--kind", action="append", default=None,
+                       choices=("sequential", "balanced-tree", "cam",
+                                "multibit-trie", "bloom"),
+                       help="table kind to sweep (repeatable; "
+                            "default: all five)")
+    sweep.add_argument("--prefixes", type=int, nargs="+", default=None,
+                       metavar="N",
+                       help="FIB sizes to sweep (default: 100 1000 "
+                            "10000 100000 1000000)")
+    sweep.add_argument("--lookups", type=int, default=None, metavar="N",
+                       help="Zipf-skewed probe addresses per cell "
+                            "(default 2000)")
+    sweep.add_argument("--seed", type=int, default=2026,
+                       help="root seed (sweeps replay bit-for-bit)")
+    sweep.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="fan cells out over N worker processes "
+                            "(default 1; output is byte-identical)")
+    sweep.add_argument("--journal", default=None, metavar="PATH",
+                       help="crash-safe JSONL journal of every cell")
+    sweep.add_argument("--resume", action="store_true",
+                       help="replay the journal and skip measured cells")
+    _add_output_argument(sweep)
+
     ev = sub.add_parser("evaluate", help="evaluate one configuration")
     ev.add_argument("--buses", type=int, default=1)
     ev.add_argument("--fu-sets", type=int, default=1,
                     help="matcher/counter/comparator count")
     ev.add_argument("--table", default="sequential",
-                    choices=("sequential", "balanced-tree", "cam"))
+                    choices=("sequential", "balanced-tree", "cam",
+                             "multibit-trie", "bloom"))
     ev.add_argument("--entries", type=int, default=100)
     ev.add_argument("--hazards", action="store_true",
                     help="attach the hazard detector and print its report")
@@ -164,9 +208,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="table-driven forwarding conformance suite")
     conf.add_argument("--table", default="sequential",
                       choices=("sequential", "tree", "balanced-tree",
-                               "cam"),
+                               "cam", "multibit-trie", "trie", "bloom"),
                       help="routing-table implementation under test "
-                           "('tree' is an alias for 'balanced-tree')")
+                           "('tree' is an alias for 'balanced-tree', "
+                           "'trie' for 'multibit-trie')")
     conf.add_argument("--no-mac", action="store_true",
                       help="skip the link-layer (my-station / MAC "
                            "rewrite) cases")
@@ -269,7 +314,8 @@ def _build_parser() -> argparse.ArgumentParser:
     desc.add_argument("--buses", type=int, default=3)
     desc.add_argument("--fu-sets", type=int, default=1)
     desc.add_argument("--table", default="cam",
-                      choices=("sequential", "balanced-tree", "cam"))
+                      choices=("sequential", "balanced-tree", "cam",
+                               "multibit-trie", "bloom"))
     desc.add_argument("--format", dest="fmt", default="text",
                       choices=("text", "dot"))
 
@@ -409,7 +455,13 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
 def _evaluator_factory(args: argparse.Namespace):
     """Picklable evaluator spec shared by the parent and pool workers."""
+    routes = None
+    if getattr(args, "prefixes", None) is not None:
+        from repro.workload.fib import synthesize_fib
+        routes = synthesize_fib(args.prefixes,
+                                seed=getattr(args, "seed", 2026))
     return partial(ArchitectureEvaluator,
+                   routes=routes,
                    table_entries=args.entries,
                    packet_batch=getattr(args, "packets", 12),
                    detect_hazards=args.hazards,
@@ -428,20 +480,26 @@ def _make_campaign_runner(factory, args: argparse.Namespace
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.dse.config import ALL_TABLE_KINDS, TABLE_KINDS
+
+    kinds = ALL_TABLE_KINDS if args.kinds == "all" else TABLE_KINDS
     factory = _evaluator_factory(args)
     campaign = None
     runner = None
     if args.journal or args.jobs > 1:
         runner = _make_campaign_runner(factory, args)
-        rows, campaign = run_table1_campaign(runner)
+        rows, campaign = run_table1_campaign(runner, kinds=kinds)
     else:
-        rows = generate_table1(factory())
+        rows = generate_table1(factory(), kinds=kinds)
     text = render_table1(rows)
     if campaign is not None:
         for failure in campaign.failures:
             text += f"\nquarantined: {failure.render()}"
     print(text)
-    violations = shape_checks(rows) if len(rows) == 9 else []
+    # shape_checks self-guards: with an incomplete paper grid it
+    # reports that single violation, and extended kinds ride along
+    # unconstrained.
+    violations = shape_checks(rows)
     if args.output:
         _write_json(args.output, table1_to_dict(rows, violations))
     if campaign is not None:
@@ -460,6 +518,29 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         return 1
     print("\nall qualitative shape checks passed")
     return 0
+
+
+def _cmd_lookup_sweep(args: argparse.Namespace) -> int:
+    from repro.dse.lookup_sweep import (
+        DEFAULT_LOOKUPS,
+        LookupSweepRunner,
+    )
+
+    runner = LookupSweepRunner(
+        kinds=args.kind, prefix_counts=args.prefixes,
+        lookups=args.lookups if args.lookups is not None
+        else DEFAULT_LOOKUPS,
+        seed=args.seed, jobs=args.jobs,
+        journal_path=args.journal, resume=args.resume)
+    result = runner.run()
+    print(result.render())
+    if args.output:
+        _write_json(args.output, result.to_dict())
+    if result.resumed:
+        print(f"(resumed {result.resumed} cell(s) from {args.journal})",
+              file=sys.stderr)
+    failed = sum(r["status"] != "ok" for r in result.records)
+    return 3 if failed else 0
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:

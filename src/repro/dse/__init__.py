@@ -30,6 +30,12 @@ from repro.dse.explorer import (
     ExplorationOutcome,
     GreedyExplorer,
 )
+from repro.dse.lookup_sweep import (
+    LookupCell,
+    LookupSweepResult,
+    LookupSweepRunner,
+    plan_cells,
+)
 from repro.dse.parallel import ParallelCampaignRunner
 from repro.dse.pareto import DesignConstraints, pareto_front, select_best
 from repro.dse.sdc import (
@@ -65,6 +71,7 @@ __all__ = [
     "EvaluatorProtocol", "BatchEvaluator", "supports_batching",
     "ExhaustiveExplorer", "ExplorationOutcome", "GreedyExplorer",
     "ParallelCampaignRunner",
+    "LookupCell", "LookupSweepResult", "LookupSweepRunner", "plan_cells",
     "SdcSweepResult", "SdcSweepRunner", "SdcTrial",
     "plan_trials", "run_sdc_sweep", "vulnerability_row",
     "DesignConstraints", "pareto_front", "select_best",

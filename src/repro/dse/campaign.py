@@ -674,8 +674,8 @@ def run_table1_campaign(runner: CampaignRunner,
                for config in paper_configurations(kind)]
     campaign = runner.run(configs)
     paper_by_key = {(r.table_kind, r.config_label): r for r in PAPER_TABLE1}
-    rows = [Table1Row(paper=paper_by_key[(result.config.table_kind,
-                                          result.config.label())],
+    rows = [Table1Row(paper=paper_by_key.get((result.config.table_kind,
+                                              result.config.label())),
                       measured=result)
             for result in campaign.results]
     return rows, campaign

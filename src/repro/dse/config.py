@@ -15,7 +15,18 @@ from typing import Dict, Tuple
 
 from repro.errors import ConfigurationError
 
+#: the paper's three Table-1 options (the default sweep grid)
 TABLE_KINDS = ("sequential", "balanced-tree", "cam")
+
+#: post-paper structures that scale to million-prefix FIBs
+EXTENDED_TABLE_KINDS = ("multibit-trie", "bloom")
+
+#: every kind a configuration may carry
+ALL_TABLE_KINDS = TABLE_KINDS + EXTENDED_TABLE_KINDS
+
+#: kinds whose search is a hardware operation of the RTU itself (the
+#: forwarding program triggers one search instead of walking memory)
+HARDWARE_SEARCH_KINDS = ("cam", "multibit-trie", "bloom")
 
 
 @dataclass(frozen=True)
@@ -46,10 +57,10 @@ class ArchitectureConfiguration:
         for name, value in counts.items():
             if value < 1:
                 raise ConfigurationError(f"{name} must be >= 1, got {value}")
-        if self.table_kind not in TABLE_KINDS:
+        if self.table_kind not in ALL_TABLE_KINDS:
             raise ConfigurationError(
                 f"unknown table kind {self.table_kind!r}; "
-                f"choose from {TABLE_KINDS}")
+                f"choose from {ALL_TABLE_KINDS}")
 
     @property
     def search_fu_sets(self) -> int:

@@ -8,6 +8,12 @@ from repro.estimation.frequency import (
     packet_rate,
     required_clock_hz,
 )
+from repro.estimation.lookup import (
+    LOOKUP_COST_MODELS,
+    LookupCostParameters,
+    LookupEstimate,
+    estimate_lookup_point,
+)
 from repro.estimation.power import PowerBreakdown, estimate_power
 from repro.estimation.technology import (
     MAX_CLOCK_HZ,
@@ -21,4 +27,6 @@ __all__ = [
     "ThroughputConstraint", "packet_rate", "required_clock_hz",
     "CALIBRATION_PACKET_BYTES", "LINE_RATE_BPS",
     "MAX_CLOCK_HZ", "feasible", "gate_sizing_factor",
+    "LOOKUP_COST_MODELS", "LookupCostParameters", "LookupEstimate",
+    "estimate_lookup_point",
 ]

@@ -49,17 +49,28 @@ _INFRASTRUCTURE_KINDS = ("mmu", "rtu", "ippu", "oppu", "liu", "nc")
 #: 64-byte stride (the RTU image), in kilobytes
 TABLE_CACHE_KBYTE = 6.4
 
+#: default on-chip table memory for the scaling structures at the
+#: paper's 100-entry design point (trie slot pages / Bloom filter bank);
+#: the lookup sweep overrides these with measured footprints
+TRIE_CACHE_KBYTE = 8.0
+BLOOM_CACHE_KBYTE = 2.0
+
 #: datagram buffer memory kept on chip (slot pool working set)
 BUFFER_KBYTE = 16.0
 
 
 def estimate_area(config: ArchitectureConfiguration, clock_hz: float,
-                  program_store_kbyte: float = 1.0) -> AreaBreakdown:
+                  program_store_kbyte: float = 1.0,
+                  table_kbyte: "float | None" = None) -> AreaBreakdown:
     """Die-area estimate at the given operating clock.
 
     *program_store_kbyte* is the instruction-memory footprint; the
     evaluator passes the exact size of the encoded forwarding program
     (see :mod:`repro.asm.encoding`), defaulting to a nominal 1 KiB.
+
+    *table_kbyte* overrides the on-chip routing-table memory footprint;
+    the lookup sweep passes the measured size of the built structure so
+    area scales with the FIB instead of assuming the 100-entry default.
     """
     sizing = tech.gate_sizing_factor(clock_hz)
 
@@ -80,8 +91,14 @@ def estimate_area(config: ArchitectureConfiguration, clock_hz: float,
                     + tech.SOCKET_AREA_MM2 * sockets)
 
     memory_kb = BUFFER_KBYTE + max(program_store_kbyte, 0.0)
-    if config.table_kind in ("sequential", "balanced-tree"):
+    if table_kbyte is not None:
+        memory_kb += max(table_kbyte, 0.0)
+    elif config.table_kind in ("sequential", "balanced-tree"):
         memory_kb += TABLE_CACHE_KBYTE
+    elif config.table_kind == "multibit-trie":
+        memory_kb += TRIE_CACHE_KBYTE
+    elif config.table_kind == "bloom":
+        memory_kb += BLOOM_CACHE_KBYTE
     # CAM option: the CAM+SRAM pair is an external chip; the paper's Table 1
     # explicitly excludes it ("the CAM estimates do not include the area and
     # power used by the CAM chip"), and so do we here.

@@ -8,7 +8,8 @@ search algorithm::
     cycles(n) = overhead + slope * f(n)
 
 with ``f(n) = n`` for the sequential scan, ``f(n) = log2(n)`` for the
-balanced tree, and ``f(n) = 1`` for the CAM. :func:`fit_cycle_model` fits
+balanced tree, and ``f(n) = 1`` for the hardware-searched options (CAM,
+multibit-trie, Bloom). :func:`fit_cycle_model` fits
 the two coefficients per configuration from cycle-accurate runs at two
 table sizes; tests assert the fitted model tracks fresh simulations.
 """
@@ -19,7 +20,7 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
-from repro.dse.config import ArchitectureConfiguration
+from repro.dse.config import ArchitectureConfiguration, HARDWARE_SEARCH_KINDS
 from repro.errors import EstimationError
 from repro.programs.runner import run_forwarding
 from repro.workload import generate_routes, worst_case_workload
@@ -53,8 +54,8 @@ class FittedCycleModel:
 
     def describe(self) -> str:
         kind = self.config.table_kind
-        term = {"sequential": "n", "balanced-tree": "log2(n)",
-                "cam": "1"}[kind]
+        term = {"sequential": "n",
+                "balanced-tree": "log2(n)"}.get(kind, "1")
         return (f"{self.config.describe()}: cycles(n) = "
                 f"{self.overhead:.1f} + {self.slope:.2f} * {term}")
 
@@ -83,7 +84,7 @@ def fit_cycle_model(config: ArchitectureConfiguration,
     c1 = measure_cycles(config, n1, packets=packets)
     c2 = measure_cycles(config, n2, packets=packets)
     t1, t2 = term(n1), term(n2)
-    if config.table_kind == "cam":
+    if config.table_kind in HARDWARE_SEARCH_KINDS:
         # constant model: slope absorbs the (fixed) search cost
         return FittedCycleModel(config=config, overhead=0.0,
                                 slope=(c1 + c2) / 2.0)

@@ -47,6 +47,7 @@ from __future__ import annotations
 
 from repro.asm.assembler import assemble
 from repro.asm.ir import IrProgram, ProgramBuilder
+from repro.dse.config import HARDWARE_SEARCH_KINDS
 from repro.errors import ProgramError
 from repro.programs.machine import RouterMachine
 from repro.tta.fus.rtu import (
@@ -78,7 +79,8 @@ class ForwardingProgramFactory:
         self.config = machine.config
         self.mode = mode
         self.strands = (self.config.search_fu_sets
-                        if self.config.table_kind != "cam" else 1)
+                        if self.config.table_kind not in HARDWARE_SEARCH_KINDS
+                        else 1)
         if self.strands > 3:
             self.strands = 3  # register map supports up to three strands
 
@@ -89,7 +91,10 @@ class ForwardingProgramFactory:
         self._emit_wait(builder)
         self._emit_receive(builder)
         self._emit_validation(builder)
-        if self.config.table_kind == "cam":
+        if self.config.table_kind in HARDWARE_SEARCH_KINDS:
+            # CAM, multibit-trie and Bloom all trigger the RTU's search
+            # engine with the same four-word handshake; only the result
+            # latency differs, and that is the RTU's to honour.
             self._emit_cam_search(builder)
         elif self.config.table_kind == "sequential":
             self._emit_sequential_search(builder)

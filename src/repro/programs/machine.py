@@ -56,8 +56,7 @@ class RouterMachine:
     ripng: Optional["RipngEngine"] = None
 
     def load_routes(self, entries: Sequence[RouteEntry]) -> None:
-        for entry in entries:
-            self.table.insert(entry)
+        self.table.load(list(entries))
         self.rtu.refresh()
 
     def offered_load(self, interface: int, datagram: bytes) -> bool:
@@ -154,8 +153,14 @@ def build_machine(config: ArchitectureConfiguration,
             f"configuration expects a {config.table_kind} table, "
             f"got {table.kind}")
 
+    if table.hardware_search and table.kind != "cam":
+        # Trie/Bloom engines have a fixed pipeline depth the structure
+        # itself reports; only the CAM's latency is clock-dependent.
+        search_latency = table.search_latency_cycles()  # type: ignore[attr-defined]
+    else:
+        search_latency = config.cam_search_latency
     rtu = RoutingTableUnit("rtu0", table, memory, base_word=TABLE_BASE_WORD,
-                           search_latency=config.cam_search_latency)
+                           search_latency=search_latency)
     ippu = InputPreprocessingUnit("ippu0", line_cards, slots)
     oppu = OutputPostprocessingUnit("oppu0", line_cards, slots)
     units = [

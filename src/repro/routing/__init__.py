@@ -1,28 +1,40 @@
 """Routing tables with identical LPM semantics and distinct cost models.
 
-Three implementations, matching the paper's §4 evaluation:
+Three implementations match the paper's §4 evaluation:
 
 * :class:`SequentialRoutingTable` — linear scan over cache memory (O(n));
 * :class:`BalancedTreeRoutingTable` — AVL tree (O(log n) search, complex
   updates);
 * :class:`CamRoutingTable` — ternary CAM + SRAM (O(1) search, 40 ns).
+
+Two more scale past the paper's 100-entry design point to
+million-prefix FIBs (see the CRAM-lens blueprint in PAPERS.md):
+
+* :class:`MultibitTrieRoutingTable` — stride-based leaf-pushed trie
+  (bounded ``ceil(128/stride)`` accesses regardless of size);
+* :class:`BloomRoutingTable` — hash table per prefix length behind a
+  parallel Bloom-filter bank (~1 expected memory access per lookup).
 """
 
 from repro.routing.balanced_tree import BalancedTreeRoutingTable
 from repro.routing.base import DEFAULT_CAPACITY, RoutingTable, TableStatistics
+from repro.routing.bloom import BloomRoutingTable
 from repro.routing.cam import CAM_SEARCH_TIME_NS, CamPhysicalModel, CamRoutingTable
 from repro.routing.entry import LookupResult, RouteEntry
+from repro.routing.multibit_trie import MultibitTrieRoutingTable
 from repro.routing.sequential import SequentialRoutingTable
 
 TABLE_KINDS = {
     SequentialRoutingTable.kind: SequentialRoutingTable,
     BalancedTreeRoutingTable.kind: BalancedTreeRoutingTable,
     CamRoutingTable.kind: CamRoutingTable,
+    MultibitTrieRoutingTable.kind: MultibitTrieRoutingTable,
+    BloomRoutingTable.kind: BloomRoutingTable,
 }
 
 
 def make_table(kind: str, capacity: int = DEFAULT_CAPACITY) -> RoutingTable:
-    """Factory over the three implementations by their ``kind`` string."""
+    """Factory over the implementations by their ``kind`` string."""
     try:
         cls = TABLE_KINDS[kind]
     except KeyError:
@@ -34,6 +46,7 @@ def make_table(kind: str, capacity: int = DEFAULT_CAPACITY) -> RoutingTable:
 
 __all__ = [
     "BalancedTreeRoutingTable", "CamRoutingTable", "SequentialRoutingTable",
+    "MultibitTrieRoutingTable", "BloomRoutingTable",
     "CamPhysicalModel", "CAM_SEARCH_TIME_NS",
     "RoutingTable", "TableStatistics", "DEFAULT_CAPACITY",
     "LookupResult", "RouteEntry", "TABLE_KINDS", "make_table",

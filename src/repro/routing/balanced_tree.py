@@ -156,8 +156,12 @@ class BalancedTreeRoutingTable(RoutingTable):
         prefix = entry.prefix
         existing = self._nodes.get(prefix)
         if existing is not None:
+            # Replace cost = the actual descent to the node + one write
+            # (previously reported the tree height, which over- or
+            # under-counted depending on where the node sat).
+            steps = self._descent_steps(_key(prefix))
             existing.entry = entry
-            return _height(self._root)
+            return steps + 1
         steps = _height(self._root)
 
         new_node = _Node(entry=entry)
@@ -178,6 +182,17 @@ class BalancedTreeRoutingTable(RoutingTable):
                 other.enclosing = prefix
                 adopted += 1
         return steps + adopted + 1
+
+    def _descent_steps(self, key: Tuple[int, int]) -> int:
+        """Nodes examined descending from the root to *key* (inclusive)."""
+        node = self._root
+        steps = 0
+        while node is not None:
+            steps += 1
+            if key == node.key:
+                break
+            node = node.left if key < node.key else node.right
+        return steps
 
     def _avl_insert(self, node: Optional[_Node], new_node: _Node) -> _Node:
         if node is None:
@@ -207,6 +222,55 @@ class BalancedTreeRoutingTable(RoutingTable):
                 return cp
             candidate = candidate_node.enclosing
         return None
+
+    # -- bulk load -------------------------------------------------------------
+
+    def load(self, entries: "list[RouteEntry]") -> None:
+        """Bulk build: one sort, balanced construction, single-pass
+        enclosing-chain computation.
+
+        The per-insert path recomputes ``_find_enclosing`` plus a range
+        scan for every entry; this builds a perfectly balanced tree from
+        the sorted keys and derives every enclosing link in one stack
+        sweep over key order (a prefix's encloser is the nearest
+        still-open containing prefix). Only valid from an empty table;
+        otherwise falls back to the per-insert path.
+        """
+        if self._root is not None:
+            super().load(entries)
+            return
+        self._check_bulk_capacity(entries)
+        merged: Dict[Ipv6Prefix, RouteEntry] = {}
+        for entry in entries:
+            merged[entry.prefix] = entry
+        ordered = sorted(merged.values(), key=lambda entry: _key(entry.prefix))
+        nodes = [_Node(entry=entry) for entry in ordered]
+        self._root = self._build_balanced(nodes, 0, len(nodes))
+        self._nodes = {node.entry.prefix: node for node in nodes}
+        # Prefixes form a laminar family, so in (network, length) order
+        # the immediate encloser is the nearest open ancestor on a stack.
+        stack: List[_Node] = []
+        for node in nodes:
+            prefix = node.entry.prefix
+            while stack:
+                top = stack[-1].entry.prefix
+                if top.length < prefix.length and top.contains(prefix.network):
+                    break
+                stack.pop()
+            node.enclosing = stack[-1].entry.prefix if stack else None
+            stack.append(node)
+        self._account_bulk_load(len(entries), len(nodes))
+
+    def _build_balanced(self, nodes: List[_Node],
+                        lo: int, hi: int) -> Optional[_Node]:
+        if lo >= hi:
+            return None
+        mid = (lo + hi) // 2
+        node = nodes[mid]
+        node.left = self._build_balanced(nodes, lo, mid)
+        node.right = self._build_balanced(nodes, mid + 1, hi)
+        _update_height(node)
+        return node
 
     # -- delete ---------------------------------------------------------------
 
@@ -291,6 +355,10 @@ class BalancedTreeRoutingTable(RoutingTable):
 
     def tree_height(self) -> int:
         return _height(self._root)
+
+    def table_memory_bytes(self) -> int:
+        """On-chip node image: the 16-word RTU stride per node."""
+        return len(self._nodes) * 64
 
     def check_invariants(self) -> None:
         """Raise if the AVL balance or ordering invariant is violated."""

@@ -1,16 +1,24 @@
 """Abstract routing-table interface and shared bookkeeping.
 
-All three implementations (sequential cache memory, balanced tree, CAM)
-expose identical longest-prefix-match semantics; they differ only in how
-many elements a lookup examines and in their physical cost models. The
+All implementations (sequential cache memory, balanced tree, CAM,
+multibit trie, Bloom-assisted hash tables) expose identical
+longest-prefix-match semantics; they differ only in how many elements a
+lookup examines and in their physical cost models. The
 identical-semantics claim is enforced by property-based tests.
+
+Replace-cost convention: when ``insert`` replaces an existing prefix,
+every implementation reports ``steps`` as the elements examined to
+locate the slot plus one write. Fresh inserts additionally count the
+writes needed to keep the structure's physical discipline (tail shifts
+for the sequential array, adoption links for the tree, displaced lines
+for the TCAM).
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import RoutingTableError
 from repro.ipv6.address import Ipv6Address, Ipv6Prefix
@@ -58,6 +66,11 @@ class RoutingTable(ABC):
 
     #: short identifier used in reports and Table 1 rows
     kind: str = "abstract"
+
+    #: True when the structure is modelled as a hardware search engine
+    #: (CAM, multibit trie, Bloom filter bank): the TTA datapath triggers
+    #: one search operation instead of walking a memory image.
+    hardware_search: bool = False
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY):
         if capacity < 1:
@@ -112,6 +125,31 @@ class RoutingTable(ABC):
     def lookup(self, address: Ipv6Address) -> Optional[LookupResult]:
         """Longest-prefix match for *address*; None when no route exists."""
         entry, steps = self._lookup(address)
+        return self._account_lookup(entry, steps)
+
+    def lookup_batch(
+            self, addresses: Sequence[Ipv6Address]
+    ) -> List[Optional[LookupResult]]:
+        """Longest-prefix match for every address in *addresses*.
+
+        Semantically identical to ``[self.lookup(a) for a in addresses]``
+        — same results, same ``stats`` updates, same obs counters — but
+        implementations may override :meth:`_lookup_batch` to amortize
+        per-lookup overhead (the sequential table answers a batch from
+        per-length hash maps instead of rescanning the array per address).
+        """
+        return [self._account_lookup(entry, steps)
+                for entry, steps in self._lookup_batch(addresses)]
+
+    def _lookup_batch(
+            self, addresses: Sequence[Ipv6Address]
+    ) -> "Iterable[Tuple[Optional[RouteEntry], int]]":
+        """Raw batch lookup; overrides MUST report the exact (entry,
+        steps) pairs the per-address :meth:`_lookup` would have."""
+        return [self._lookup(address) for address in addresses]
+
+    def _account_lookup(self, entry: Optional[RouteEntry],
+                        steps: int) -> Optional[LookupResult]:
         self.stats.record_lookup(steps, hit=entry is not None)
         registry = get_registry()
         if registry.enabled:
@@ -145,13 +183,61 @@ class RoutingTable(ABC):
         return list(self)
 
     def clear(self) -> None:
+        """Remove every route through the accounted removal path.
+
+        Goes through :meth:`remove` so ``stats.removals`` and the
+        ``routing_updates_total{op=remove}`` counter see every entry a
+        clear drops (RIPng flushes and fixture resets previously
+        bypassed both by calling ``_remove`` directly).
+        """
         for entry in self.entries():
-            self._remove(entry.prefix)
+            self.remove(entry.prefix)
 
     def load(self, entries: "list[RouteEntry]") -> None:
-        """Bulk-insert (used by workload generators and benchmarks)."""
+        """Bulk-insert (used by workload generators and benchmarks).
+
+        Performs ONE up-front capacity check for the whole batch instead
+        of a per-entry ``get`` probe, then feeds entries through
+        ``_insert`` with the usual accounting. Implementations override
+        this with true bulk builds (single sort for the sequential
+        array, single-pass enclosing-chain construction for the tree);
+        overrides must keep the hit/miss/insert/removal *counts* in
+        ``stats`` identical to this path, while ``total_update_steps``
+        reflects the (cheaper) bulk build cost.
+        """
+        self._check_bulk_capacity(entries)
         for entry in entries:
-            self.insert(entry)
+            steps = self._insert(entry)
+            self.stats.record_update(steps, insert=True)
+            self._publish_update(steps, op="insert")
+
+    def _check_bulk_capacity(self, entries: "list[RouteEntry]") -> None:
+        """Raise if loading *entries* would overflow; no partial load."""
+        new_prefixes = {entry.prefix for entry in entries}
+        if len(self):
+            already = sum(1 for prefix in new_prefixes
+                          if self.get(prefix) is not None)
+        else:
+            already = 0
+        if len(self) + len(new_prefixes) - already > self._capacity:
+            raise RoutingTableError(
+                f"routing table full ({self._capacity} entries)")
+
+    def _account_bulk_load(self, inserts: int, steps: int) -> None:
+        """Accounting for a bulk build: *inserts* entries written with
+        *steps* total elements touched (published as one aggregate)."""
+        self.stats.inserts += inserts
+        self.stats.total_update_steps += steps
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "routing_updates_total",
+                "route insertions and removals", ("kind", "op")
+            ).inc(inserts, kind=self.kind, op="insert")
+            registry.counter(
+                "routing_update_steps_total",
+                "elements touched by table updates", ("kind",)
+            ).inc(steps, kind=self.kind)
 
     def __contains__(self, prefix: Ipv6Prefix) -> bool:
         return self.get(prefix) is not None

@@ -1,0 +1,271 @@
+"""Bloom-assisted hash-per-prefix-length routing table.
+
+The Dharmapurikar-style longest-prefix-match scheme: one exact-match
+hash table per distinct prefix length, fronted by a bank of on-chip
+Bloom filters (one per length). A lookup probes every filter in
+parallel — a single pipeline step in hardware — then queries the
+off-filter hash tables only for the lengths whose filter answered
+"maybe", longest first, stopping at the first real hit. With correctly
+sized filters the expected number of hash-table accesses per lookup is
+barely above one, independent of table size — which is what lets this
+structure hold a million prefixes without the linear or logarithmic
+step growth of the scan/tree tables.
+
+Modelling choices
+-----------------
+* ``steps`` = 1 (the parallel filter-bank probe) + one step per hash
+  table actually queried. False positives therefore show up honestly
+  as extra steps.
+* Filters are *counting* Bloom filters (bytearray counters) so removals
+  decrement cleanly; a counter that saturates at 255 becomes sticky,
+  which can only cause false positives, never false negatives.
+* Hash functions are double-hashed from a keyed blake2b digest —
+  deterministic across processes so campaign runs stay byte-identical.
+* Each length's filter is sized from that length's entry count
+  (``slots_per_entry`` counters each) and rebuilt on power-of-two
+  growth, keeping the false-positive rate roughly constant as the
+  table grows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import RoutingTableError
+from repro.ipv6.address import Ipv6Address, Ipv6Prefix, prefix_mask
+from repro.routing.base import DEFAULT_CAPACITY, RoutingTable
+from repro.routing.entry import RouteEntry
+
+DEFAULT_SLOTS_PER_ENTRY = 16
+"""Counting-filter slots per stored prefix (~1e-4 false-positive rate
+at 6 hash functions)."""
+
+DEFAULT_HASH_COUNT = 6
+
+_MIN_FILTER_SLOTS = 64
+
+BLOOM_SEARCH_LATENCY_CYCLES = 4
+"""Static hardware pipeline: hash generation, parallel filter-bank
+probe, and two provisioned hash-table memory reads."""
+
+
+def _hash_pair(length: int, value: int) -> Tuple[int, int]:
+    digest = hashlib.blake2b(
+        length.to_bytes(2, "big") + value.to_bytes(16, "big"),
+        digest_size=16).digest()
+    h1 = int.from_bytes(digest[:8], "big")
+    h2 = int.from_bytes(digest[8:], "big") | 1  # odd => full period
+    return h1, h2
+
+
+class _LengthClass:
+    """All state for one prefix length: exact table + counting filter."""
+
+    __slots__ = ("length", "mask", "entries", "counters", "slots")
+
+    def __init__(self, length: int, slots: int):
+        self.length = length
+        self.mask = prefix_mask(length)
+        #: masked network value -> entry (insertion-ordered)
+        self.entries: Dict[int, RouteEntry] = {}
+        self.slots = slots
+        self.counters = bytearray(slots)
+
+    def filter_positive(self, value: int, hash_count: int) -> bool:
+        h1, h2 = _hash_pair(self.length, value)
+        counters, slots = self.counters, self.slots
+        for i in range(hash_count):
+            if not counters[(h1 + i * h2) % slots]:
+                return False
+        return True
+
+    def filter_add(self, value: int, hash_count: int) -> None:
+        h1, h2 = _hash_pair(self.length, value)
+        counters, slots = self.counters, self.slots
+        for i in range(hash_count):
+            index = (h1 + i * h2) % slots
+            if counters[index] < 255:
+                counters[index] += 1
+
+    def filter_discard(self, value: int, hash_count: int) -> None:
+        h1, h2 = _hash_pair(self.length, value)
+        counters, slots = self.counters, self.slots
+        for i in range(hash_count):
+            index = (h1 + i * h2) % slots
+            if 0 < counters[index] < 255:  # 255 is sticky (saturated)
+                counters[index] -= 1
+
+
+def _sized_slots(count: int, slots_per_entry: int) -> int:
+    slots = _MIN_FILTER_SLOTS
+    while slots < count * slots_per_entry:
+        slots <<= 1
+    return slots
+
+
+class BloomRoutingTable(RoutingTable):
+    """Per-length hash tables behind a parallel Bloom-filter bank."""
+
+    kind = "bloom"
+    hardware_search = True
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 slots_per_entry: int = DEFAULT_SLOTS_PER_ENTRY,
+                 hash_count: int = DEFAULT_HASH_COUNT):
+        super().__init__(capacity)
+        if slots_per_entry < 2:
+            raise RoutingTableError(
+                f"slots_per_entry too small: {slots_per_entry}")
+        if hash_count < 1:
+            raise RoutingTableError(f"hash_count must be positive: {hash_count}")
+        self.slots_per_entry = slots_per_entry
+        self.hash_count = hash_count
+        #: length -> class, kept keyed; probe order derived on demand
+        self._classes: Dict[int, _LengthClass] = {}
+        #: distinct lengths, descending (the probe order)
+        self._lengths_desc: List[int] = []
+        self._count = 0
+
+    # -- length-class maintenance ---------------------------------------------
+
+    def _class_for(self, length: int) -> _LengthClass:
+        cls = self._classes.get(length)
+        if cls is None:
+            cls = _LengthClass(length, _sized_slots(1, self.slots_per_entry))
+            self._classes[length] = cls
+            self._lengths_desc.append(length)
+            self._lengths_desc.sort(reverse=True)
+        return cls
+
+    def _drop_if_empty(self, cls: _LengthClass) -> None:
+        if not cls.entries:
+            del self._classes[cls.length]
+            self._lengths_desc.remove(cls.length)
+
+    def _maybe_grow(self, cls: _LengthClass) -> None:
+        if len(cls.entries) * self.slots_per_entry <= cls.slots:
+            return
+        cls.slots = _sized_slots(len(cls.entries), self.slots_per_entry)
+        cls.counters = bytearray(cls.slots)
+        for value in cls.entries:
+            cls.filter_add(value, self.hash_count)
+
+    # -- core operations -------------------------------------------------------
+
+    def _insert(self, entry: RouteEntry) -> int:
+        prefix = entry.prefix
+        cls = self._class_for(prefix.length)
+        value = prefix.network.value
+        if value in cls.entries:
+            cls.entries[value] = entry
+            return 2  # one table probe + one bucket write
+        cls.entries[value] = entry
+        cls.filter_add(value, self.hash_count)
+        self._maybe_grow(cls)
+        self._count += 1
+        # one probe + one bucket write + the filter-counter updates
+        return 2 + self.hash_count
+
+    def _remove(self, prefix: Ipv6Prefix) -> int:
+        cls = self._classes.get(prefix.length)
+        value = prefix.network.value
+        if cls is None or value not in cls.entries:
+            raise RoutingTableError(f"no such route: {prefix}")
+        del cls.entries[value]
+        cls.filter_discard(value, self.hash_count)
+        self._count -= 1
+        self._drop_if_empty(cls)
+        return 2 + self.hash_count
+
+    def _lookup(self, address: Ipv6Address) -> Tuple[Optional[RouteEntry], int]:
+        value = address.value
+        steps = 1  # the parallel Bloom-bank probe counts once
+        for length in self._lengths_desc:
+            cls = self._classes[length]
+            masked = value & cls.mask
+            if not cls.filter_positive(masked, self.hash_count):
+                continue
+            steps += 1  # off-filter hash-table access
+            entry = cls.entries.get(masked)
+            if entry is not None:
+                return entry, steps
+        return None, steps
+
+    def get(self, prefix: Ipv6Prefix) -> Optional[RouteEntry]:
+        cls = self._classes.get(prefix.length)
+        if cls is None:
+            return None
+        return cls.entries.get(prefix.network.value)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[RouteEntry]:
+        out: List[RouteEntry] = []
+        for length in self._lengths_desc:
+            out.extend(self._classes[length].entries.values())
+        return iter(out)
+
+    # -- bulk load -------------------------------------------------------------
+
+    def load(self, entries: "list[RouteEntry]") -> None:
+        """Bulk build from empty: fill the per-length tables first, then
+        size each filter once from the final counts (the per-insert path
+        pays power-of-two rebuild cascades)."""
+        if self._count:
+            super().load(entries)
+            return
+        self._check_bulk_capacity(entries)
+        merged: Dict[Ipv6Prefix, RouteEntry] = {}
+        for entry in entries:
+            merged[entry.prefix] = entry
+        for prefix, entry in merged.items():
+            cls = self._class_for(prefix.length)
+            cls.entries[prefix.network.value] = entry
+        for cls in self._classes.values():
+            cls.slots = _sized_slots(len(cls.entries), self.slots_per_entry)
+            cls.counters = bytearray(cls.slots)
+            for value in cls.entries:
+                cls.filter_add(value, self.hash_count)
+        self._count = len(merged)
+        self._account_bulk_load(len(entries), len(merged))
+
+    # -- hardware search model -------------------------------------------------
+
+    def search_latency_cycles(self) -> int:
+        return BLOOM_SEARCH_LATENCY_CYCLES
+
+    # -- introspection ---------------------------------------------------------
+
+    def table_memory_bytes(self) -> int:
+        """On-chip footprint: the Bloom-filter bank at 4-bit hardware
+        counters (the per-length hash tables live off-chip, like the
+        CAM option's SRAM)."""
+        return sum((cls.slots + 1) // 2 for cls in self._classes.values())
+
+    def filter_info(self) -> "Dict[int, Tuple[int, int, int]]":
+        """length -> (entries, filter slots, set counters) for tests and
+        false-positive-rate reporting."""
+        return {length: (len(cls.entries), cls.slots,
+                         sum(1 for c in cls.counters if c))
+                for length, cls in self._classes.items()}
+
+    def check_invariants(self) -> None:
+        """Raise if filter/table state diverged: every stored prefix must
+        be filter-positive (no false negatives), counts must add up, and
+        the probe order must be strictly descending."""
+        total = 0
+        for length, cls in self._classes.items():
+            if not cls.entries:
+                raise RoutingTableError(f"empty length class /{length}")
+            total += len(cls.entries)
+            for value in cls.entries:
+                if not cls.filter_positive(value, self.hash_count):
+                    raise RoutingTableError(
+                        f"false negative for stored prefix at /{length}")
+        if total != self._count:
+            raise RoutingTableError(
+                f"count {self._count} != stored {total}")
+        if self._lengths_desc != sorted(self._classes, reverse=True):
+            raise RoutingTableError("probe order diverged from classes")

@@ -18,7 +18,7 @@ layer can include them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import RoutingTableError
 from repro.ipv6.address import Ipv6Address, Ipv6Prefix
@@ -79,6 +79,7 @@ class CamRoutingTable(RoutingTable):
     """TCAM-style table: single-step parallel match, priority by length."""
 
     kind = "cam"
+    hardware_search = True
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY,
                  physical: Optional[CamPhysicalModel] = None):
@@ -95,7 +96,7 @@ class CamRoutingTable(RoutingTable):
         for line in self._lines:
             if line.entry.prefix == prefix:
                 line.entry = entry
-                return 1
+                return 2  # one parallel match + one line write
         new_line = _CamLine(value=prefix.network.value, mask=prefix.mask(),
                             entry=entry)
         position = len(self._lines)
@@ -131,6 +132,61 @@ class CamRoutingTable(RoutingTable):
                 return line.entry, 1
         return None, 1
 
+    def _lookup_batch(
+            self, addresses: Sequence[Ipv6Address]
+    ) -> List[Tuple[Optional[RouteEntry], int]]:
+        """Batch search via per-length maps; every search still costs one
+        step and occupies the CAM for one 40 ns slot."""
+        registry = get_registry()
+        if registry.enabled and addresses:
+            registry.counter(
+                "routing_cam_busy_cycles_total",
+                "CAM cycles occupied by searches (40 ns per search at "
+                "the part's reference clock)"
+            ).inc(self._search_busy_cycles * len(addresses))
+        by_length: "List[Tuple[int, Dict[int, RouteEntry]]]" = []
+        seen: Dict[int, Dict[int, RouteEntry]] = {}
+        for line in self._lines:
+            length = line.entry.prefix.length
+            table = seen.get(length)
+            if table is None:
+                table = seen[length] = {}
+                by_length.append((line.mask, table))
+            table[line.value] = line.entry
+        out: List[Tuple[Optional[RouteEntry], int]] = []
+        for address in addresses:
+            value = address.value
+            found: Optional[RouteEntry] = None
+            for mask, table in by_length:
+                found = table.get(value & mask)
+                if found is not None:
+                    break
+            out.append((found, 1))
+        return out
+
+    def load(self, entries: "list[RouteEntry]") -> None:
+        """Single-sort bulk line build from an empty CAM (one write per
+        line); falls back to the per-insert path otherwise."""
+        if self._lines:
+            super().load(entries)
+            return
+        self._check_bulk_capacity(entries)
+        merged: "Dict[Ipv6Prefix, RouteEntry]" = {}
+        for entry in entries:
+            merged[entry.prefix] = entry
+        ordered = sorted(
+            merged.values(), key=lambda entry: -entry.prefix.length)
+        self._lines = [
+            _CamLine(value=entry.prefix.network.value,
+                     mask=entry.prefix.mask(), entry=entry)
+            for entry in ordered]
+        self._account_bulk_load(len(entries), len(merged))
+
+    def search_latency_cycles(self) -> int:
+        """Search latency in cycles at the part's reference clock (the
+        evaluator's fixed point rederives it at the candidate clock)."""
+        return self._search_busy_cycles
+
     def get(self, prefix: Ipv6Prefix) -> Optional[RouteEntry]:
         for line in self._lines:
             if line.entry.prefix == prefix:
@@ -146,3 +202,8 @@ class CamRoutingTable(RoutingTable):
     def priority_order(self) -> List[Ipv6Prefix]:
         """Line order, for tests asserting the TCAM priority discipline."""
         return [line.entry.prefix for line in self._lines]
+
+    def table_memory_bytes(self) -> int:
+        """On-chip footprint is zero: the CAM+SRAM pair is an external
+        chip (its power is accounted separately, its area excluded)."""
+        return 0

@@ -1,0 +1,310 @@
+"""Compressed multibit-trie routing table (stride-based, leaf-pushed).
+
+The modern large-FIB structure the CRAM-lens literature builds on:
+instead of inspecting one address bit per memory access (a unibit trie
+needs up to 128 accesses for IPv6), the trie consumes ``stride`` bits
+per level, so a lookup is bounded by ``ceil(128 / stride)`` memory
+accesses regardless of table size — the property that lets it scale to
+millions of prefixes at a fixed hardware pipeline depth.
+
+Design
+------
+Each node spans ``stride`` address bits. Prefixes whose length falls
+inside a node's span are *expanded* (controlled prefix expansion — the
+within-node form of leaf pushing): a prefix covering ``t`` of the
+node's ``w`` bits is written into the ``2^(w-t)`` chunk slots it
+covers, longest prefix winning each slot. A lookup therefore performs
+exactly one indexed read per level and keeps the deepest slot hit seen,
+which is the longest match:
+
+* within a node, slots are filled longest-prefix-first, and
+* a prefix terminating at depth ``d`` is strictly longer than any
+  terminating at a shallower depth, so deeper hits always win.
+
+Children are stored sparsely (a dict keyed by chunk value), which is
+the "compressed" part: dense 2^stride child arrays would be
+prohibitive for the sparse upper levels of real FIBs.
+
+Updates re-expand only the one node a prefix terminates in, from that
+node's exact terminal set — removal therefore restores exactly the
+state repeated inserts would have built (verified by
+:meth:`check_invariants`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import RoutingTableError
+from repro.ipv6.address import Ipv6Address, Ipv6Prefix
+from repro.routing.base import DEFAULT_CAPACITY, RoutingTable
+from repro.routing.entry import RouteEntry
+
+ADDRESS_BITS = 128
+
+DEFAULT_STRIDE = 8
+"""Eight bits per level: 16 memory accesses bound an IPv6 lookup."""
+
+
+class _TrieNode:
+    __slots__ = ("children", "slots", "terminals")
+
+    def __init__(self) -> None:
+        #: chunk value -> child node (sparse)
+        self.children: Dict[int, "_TrieNode"] = {}
+        #: expanded chunk value -> best prefix terminating in this node
+        self.slots: Dict[int, RouteEntry] = {}
+        #: exact prefixes terminating in this node (expansion source)
+        self.terminals: Dict[Ipv6Prefix, RouteEntry] = {}
+
+    def is_empty(self) -> bool:
+        return not self.children and not self.terminals
+
+
+class MultibitTrieRoutingTable(RoutingTable):
+    """Stride-bit trie with controlled prefix expansion per node."""
+
+    kind = "multibit-trie"
+    hardware_search = True
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 stride: int = DEFAULT_STRIDE):
+        super().__init__(capacity)
+        if not 1 <= stride <= 32:
+            raise RoutingTableError(f"stride out of range: {stride}")
+        self.stride = stride
+        self._root = _TrieNode()
+        self._node_count = 1
+        #: exact-prefix ground truth, insertion-ordered (O(1) get/len)
+        self._routes: Dict[Ipv6Prefix, RouteEntry] = {}
+
+    # -- bit plumbing ----------------------------------------------------------
+
+    def _level_width(self, depth: int) -> int:
+        """Bits the node at *depth* spans (the last level may be short)."""
+        return min(self.stride, ADDRESS_BITS - depth * self.stride)
+
+    def _chunk(self, value: int, depth: int) -> int:
+        width = self._level_width(depth)
+        shift = ADDRESS_BITS - depth * self.stride - width
+        return (value >> shift) & ((1 << width) - 1)
+
+    def _terminal_depth(self, length: int) -> int:
+        """Depth of the node a prefix of *length* terminates in."""
+        return (length - 1) // self.stride if length else 0
+
+    def max_depth(self) -> int:
+        return (ADDRESS_BITS + self.stride - 1) // self.stride
+
+    # -- expansion -------------------------------------------------------------
+
+    def _expansion(self, prefix: Ipv6Prefix,
+                   depth: int) -> Tuple[int, int]:
+        """(first chunk, slot count) *prefix* covers in its node."""
+        width = self._level_width(depth)
+        in_node = prefix.length - depth * self.stride  # 0 for ::/0
+        base = self._chunk(prefix.network.value, depth)
+        span = 1 << (width - in_node)
+        return base, span
+
+    def _reexpand(self, node: _TrieNode, depth: int) -> int:
+        """Rebuild *node*'s slot table from its terminals; returns the
+        number of slot writes (fills shortest-first so longer prefixes
+        overwrite — the leaf-pushed priority)."""
+        node.slots = {}
+        writes = 0
+        ordered = sorted(node.terminals.items(),
+                         key=lambda item: item[0].length)
+        for prefix, entry in ordered:
+            base, span = self._expansion(prefix, depth)
+            for chunk in range(base, base + span):
+                node.slots[chunk] = entry
+            writes += span
+        return writes
+
+    # -- core operations -------------------------------------------------------
+
+    def _insert(self, entry: RouteEntry) -> int:
+        prefix = entry.prefix
+        target_depth = self._terminal_depth(prefix.length)
+        node = self._root
+        steps = 1
+        for depth in range(target_depth):
+            chunk = self._chunk(prefix.network.value, depth)
+            child = node.children.get(chunk)
+            if child is None:
+                child = node.children[chunk] = _TrieNode()
+                self._node_count += 1
+            node = child
+            steps += 1
+        node.terminals[prefix] = entry
+        self._routes[prefix] = entry
+        return steps + self._reexpand(node, target_depth)
+
+    def _remove(self, prefix: Ipv6Prefix) -> int:
+        if prefix not in self._routes:
+            raise RoutingTableError(f"no such route: {prefix}")
+        target_depth = self._terminal_depth(prefix.length)
+        path: List[Tuple[_TrieNode, int]] = []  # (parent, chunk taken)
+        node = self._root
+        steps = 1
+        for depth in range(target_depth):
+            chunk = self._chunk(prefix.network.value, depth)
+            path.append((node, chunk))
+            node = node.children[chunk]
+            steps += 1
+        del node.terminals[prefix]
+        del self._routes[prefix]
+        steps += self._reexpand(node, target_depth)
+        # Prune now-empty nodes bottom-up (the compression invariant:
+        # no empty interior nodes survive a removal).
+        while path and node.is_empty():
+            parent, chunk = path.pop()
+            del parent.children[chunk]
+            self._node_count -= 1
+            node = parent
+        return steps
+
+    def _lookup(self, address: Ipv6Address) -> Tuple[Optional[RouteEntry], int]:
+        value = address.value
+        node = self._root
+        best: Optional[RouteEntry] = None
+        steps = 0
+        depth = 0
+        while True:
+            steps += 1  # one memory access per level
+            chunk = self._chunk(value, depth)
+            slot = node.slots.get(chunk)
+            if slot is not None:
+                best = slot
+            child = node.children.get(chunk)
+            if child is None:
+                return best, steps
+            node = child
+            depth += 1
+
+    def get(self, prefix: Ipv6Prefix) -> Optional[RouteEntry]:
+        return self._routes.get(prefix)
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __iter__(self) -> Iterator[RouteEntry]:
+        return iter(list(self._routes.values()))
+
+    # -- bulk load -------------------------------------------------------------
+
+    def load(self, entries: "list[RouteEntry]") -> None:
+        """Bulk build: place all terminals first, then expand every
+        dirty node exactly once (the per-insert path re-expands a node
+        for each of its prefixes). Empty-table fast path only."""
+        if self._routes:
+            super().load(entries)
+            return
+        self._check_bulk_capacity(entries)
+        merged: Dict[Ipv6Prefix, RouteEntry] = {}
+        for entry in entries:
+            merged[entry.prefix] = entry
+        dirty: Dict[int, Tuple[_TrieNode, int]] = {}
+        steps = 0
+        for prefix, entry in merged.items():
+            target_depth = self._terminal_depth(prefix.length)
+            node = self._root
+            steps += 1
+            for depth in range(target_depth):
+                chunk = self._chunk(prefix.network.value, depth)
+                child = node.children.get(chunk)
+                if child is None:
+                    child = node.children[chunk] = _TrieNode()
+                    self._node_count += 1
+                node = child
+                steps += 1
+            node.terminals[prefix] = entry
+            self._routes[prefix] = entry
+            dirty[id(node)] = (node, target_depth)
+        for node, depth in dirty.values():
+            steps += self._reexpand(node, depth)
+        self._account_bulk_load(len(entries), steps)
+
+    # -- hardware search model -------------------------------------------------
+
+    def search_latency_cycles(self) -> int:
+        """Static pipeline depth: one on-chip SRAM access per level,
+        provisioned for the worst-case (full-depth) descent."""
+        return self.max_depth()
+
+    # -- introspection ---------------------------------------------------------
+
+    def node_count(self) -> int:
+        return self._node_count
+
+    def slot_count(self) -> int:
+        """Total expanded slots — the memory footprint driver."""
+        total = 0
+
+        def visit(node: _TrieNode) -> None:
+            nonlocal total
+            total += len(node.slots)
+            for child in node.children.values():
+                visit(child)
+
+        visit(self._root)
+        return total
+
+    def table_memory_bytes(self) -> int:
+        """On-chip SRAM footprint: a 16-byte header per node plus a
+        4-byte word per occupied slot and child pointer (the sparse
+        pages the "compressed" layout stores)."""
+        total = 0
+
+        def visit(node: _TrieNode) -> None:
+            nonlocal total
+            total += 16 + 4 * (len(node.slots) + len(node.children))
+            for child in node.children.values():
+                visit(child)
+
+        visit(self._root)
+        return total
+
+    def check_invariants(self) -> None:
+        """Raise if the trie's structural invariants are violated:
+        terminal placement, slot-expansion consistency, compression
+        (no empty interior nodes), and node accounting."""
+        seen: Dict[Ipv6Prefix, RouteEntry] = {}
+        count = 0
+
+        def visit(node: _TrieNode, depth: int) -> None:
+            nonlocal count
+            count += 1
+            if node is not self._root and node.is_empty():
+                raise RoutingTableError(
+                    f"empty interior node at depth {depth}")
+            width = self._level_width(depth)
+            for prefix, entry in node.terminals.items():
+                if self._terminal_depth(prefix.length) != depth:
+                    raise RoutingTableError(
+                        f"{prefix} terminates at the wrong depth {depth}")
+                if prefix in seen:
+                    raise RoutingTableError(f"duplicate terminal {prefix}")
+                seen[prefix] = entry
+            expected: Dict[int, RouteEntry] = {}
+            for prefix, entry in sorted(node.terminals.items(),
+                                        key=lambda item: item[0].length):
+                base, span = self._expansion(prefix, depth)
+                for chunk in range(base, base + span):
+                    expected[chunk] = entry
+            if expected != node.slots:
+                raise RoutingTableError(
+                    f"stale slot expansion at depth {depth}")
+            for chunk, child in node.children.items():
+                if not 0 <= chunk < (1 << width):
+                    raise RoutingTableError(
+                        f"chunk {chunk} out of range at depth {depth}")
+                visit(child, depth + 1)
+
+        visit(self._root, 0)
+        if seen != self._routes:
+            raise RoutingTableError("terminal set diverged from route set")
+        if count != self._node_count:
+            raise RoutingTableError(
+                f"node count {self._node_count} != reachable {count}")

@@ -11,10 +11,10 @@ behaviour that drives the 6 GHz requirement in Table 1.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import RoutingTableError
-from repro.ipv6.address import Ipv6Address, Ipv6Prefix
+from repro.ipv6.address import Ipv6Address, Ipv6Prefix, prefix_mask
 from repro.routing.base import DEFAULT_CAPACITY, RoutingTable
 from repro.routing.entry import RouteEntry
 
@@ -36,7 +36,7 @@ class SequentialRoutingTable(RoutingTable):
             steps += 1
             if existing.prefix == entry.prefix:
                 self._entries[i] = entry
-                return steps
+                return steps + 1
         # Insert keeping descending prefix-length order (stable within a
         # length class): find the first slot with a shorter prefix.
         position = len(self._entries)
@@ -70,6 +70,64 @@ class SequentialRoutingTable(RoutingTable):
                 return entry
         return None
 
+    # -- bulk fast paths ------------------------------------------------------
+
+    def load(self, entries: "list[RouteEntry]") -> None:
+        """Single-sort bulk build (the per-insert path is O(n²)).
+
+        Only valid from an empty table; otherwise falls back to the
+        accounted per-insert path. Placement is identical to repeated
+        ``insert``: descending prefix length, stable by first arrival
+        within a length class, later duplicates replacing earlier ones
+        in place. The bulk cost is one write per stored entry.
+        """
+        if self._entries:
+            super().load(entries)
+            return
+        self._check_bulk_capacity(entries)
+        merged: Dict[Ipv6Prefix, RouteEntry] = {}
+        for entry in entries:
+            merged[entry.prefix] = entry
+        self._entries = sorted(
+            merged.values(), key=lambda entry: -entry.prefix.length)
+        self._account_bulk_load(len(entries), len(merged))
+
+    def _lookup_batch(
+            self, addresses: Sequence[Ipv6Address]
+    ) -> List[Tuple[Optional[RouteEntry], int]]:
+        """Answer a batch from per-length hash maps.
+
+        Builds, once per batch, a map ``length -> {masked network:
+        (entry, scan position)}``; each address then probes the distinct
+        lengths in scan order. Results — including the per-address
+        ``steps`` the cycle models consume — are exactly what the linear
+        scan would report: a hit at scan index *i* costs ``i + 1``
+        steps, a miss costs ``len(self)``.
+        """
+        by_length: "List[Tuple[int, Dict[int, Tuple[RouteEntry, int]]]]" = []
+        seen: Dict[int, Dict[int, Tuple[RouteEntry, int]]] = {}
+        for position, entry in enumerate(self._entries):
+            length = entry.prefix.length
+            table = seen.get(length)
+            if table is None:
+                table = seen[length] = {}
+                by_length.append((prefix_mask(length), table))
+            table[entry.prefix.network.value] = (entry, position)
+        miss_steps = len(self._entries)
+        out: List[Tuple[Optional[RouteEntry], int]] = []
+        for address in addresses:
+            value = address.value
+            found: Optional[Tuple[RouteEntry, int]] = None
+            for mask, table in by_length:
+                found = table.get(value & mask)
+                if found is not None:
+                    break
+            if found is None:
+                out.append((None, miss_steps))
+            else:
+                out.append((found[0], found[1] + 1))
+        return out
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -81,3 +139,7 @@ class SequentialRoutingTable(RoutingTable):
     def memory_layout(self) -> List[RouteEntry]:
         """The scan order, used to serialise the table into data memory."""
         return list(self._entries)
+
+    def table_memory_bytes(self) -> int:
+        """On-chip cache footprint: the 16-word RTU stride per entry."""
+        return len(self._entries) * 64

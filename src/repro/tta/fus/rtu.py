@@ -10,10 +10,15 @@ implementation options, but its role differs:
   (that is why tripling those units speeds these rows up in Table 1). The
   RTU materialises the table into memory and publishes its geometry on
   static result ports (``r_base``, ``r_root``, ``r_size``).
-* **CAM** — the search is a hardware operation of the RTU itself: load the
+* **CAM / multibit-trie / Bloom** — the search is a hardware operation of
+  the RTU itself (any table with ``hardware_search = True``): load the
   first three destination-address words into operand latches and trigger
   with the fourth; the matching interface appears on ``r_iface`` after the
-  CAM's wall-clock search time (whole cycles at the processor clock).
+  engine's search latency. For the CAM that latency is its wall-clock
+  40 ns converted to cycles (clock-dependent, resolved by the evaluator's
+  fixed point); for the trie and the Bloom bank it is a fixed on-chip
+  pipeline depth the structure itself reports
+  (``search_latency_cycles()``), independent of the clock.
 
 Memory layout (16-word stride, so address generation is a 4-bit shift):
 
@@ -37,7 +42,6 @@ from typing import Dict, Optional
 from repro.errors import ConfigurationError, SimulationError
 from repro.ipv6.address import Ipv6Address
 from repro.routing.base import RoutingTable
-from repro.routing.cam import CamRoutingTable
 from repro.routing.sequential import SequentialRoutingTable
 from repro.routing.balanced_tree import BalancedTreeRoutingTable
 from repro.tta.fu import FunctionalUnit
@@ -93,7 +97,9 @@ class RoutingTableUnit(FunctionalUnit):
             self._materialize_sequential()
         elif isinstance(self.table, BalancedTreeRoutingTable):
             self._materialize_tree()
-        elif isinstance(self.table, CamRoutingTable):
+        elif getattr(self.table, "hardware_search", False):
+            # CAM / multibit-trie / Bloom: the search engine is the RTU
+            # itself; nothing to materialise, only the latency to honour.
             self.latency = self.search_latency
         else:
             raise ConfigurationError(
@@ -168,10 +174,10 @@ class RoutingTableUnit(FunctionalUnit):
     def _execute(self, trigger_port: str, value: int, cycle: int) -> None:
         if trigger_port != "t_a3":
             raise SimulationError(f"unknown RTU trigger {trigger_port!r}")
-        if not isinstance(self.table, CamRoutingTable):
+        if not getattr(self.table, "hardware_search", False):
             raise SimulationError(
                 f"RTU hosts a {self.table.kind} table; hardware search is "
-                f"only available with a CAM")
+                f"only available with a CAM, multibit trie, or Bloom bank")
         address = Ipv6Address.from_words((
             self.operand("o_a0"), self.operand("o_a1"),
             self.operand("o_a2"), value))

@@ -7,6 +7,12 @@ from repro.workload.packets import (
     mean_packet_bytes,
     worst_case_workload,
 )
+from repro.workload.fib import (
+    FIB_LENGTH_WEIGHTS,
+    FibProfile,
+    synthesize_fib,
+    zipf_addresses,
+)
 from repro.workload.tables import (
     PREFIX_LENGTH_MIX,
     addresses_for_routes,
@@ -20,4 +26,5 @@ __all__ = [
     "mean_packet_bytes", "worst_case_workload",
     "PREFIX_LENGTH_MIX", "addresses_for_routes", "address_inside",
     "generate_routes", "random_prefix",
+    "FIB_LENGTH_WEIGHTS", "FibProfile", "synthesize_fib", "zipf_addresses",
 ]

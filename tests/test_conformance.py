@@ -26,7 +26,8 @@ from repro.dse.config import ArchitectureConfiguration
 from repro.errors import ConformanceError
 from repro.ipv6.address import Ipv6Address
 
-TABLE_KINDS = ("sequential", "balanced-tree", "cam")
+TABLE_KINDS = ("sequential", "balanced-tree", "cam",
+               "multibit-trie", "bloom")
 
 
 class TestMatrixShape:

@@ -117,6 +117,38 @@ class TestTable1:
         text = render_table1(table1_rows)
         assert "sequential" in text and "GHz" in text and "NA" in text
 
+    def _extended_row(self, table1_rows, kind):
+        from dataclasses import replace
+
+        from repro.dse.table1 import Table1Row
+
+        measured = table1_rows[-1].measured
+        fake = replace(measured, config=replace(measured.config,
+                                                table_kind=kind))
+        return Table1Row(paper=None, measured=fake)
+
+    def test_extended_kinds_ride_along_unconstrained(self, table1_rows):
+        """Post-paper rows (no published counterpart) must not disturb
+        the paper's shape checks and must render with a placeholder
+        paper clock."""
+        extended = self._extended_row(table1_rows, "multibit-trie")
+        rows = list(table1_rows) + [extended]
+        assert shape_checks(rows) == []
+        assert extended.table_kind == "multibit-trie"
+        assert extended.clock_ratio_vs_paper is None
+        assert extended.to_dict()["paper"] is None
+        assert "—" in render_table1(rows)
+
+    def test_incomplete_paper_grid_bails_with_one_violation(
+            self, table1_rows):
+        violations = shape_checks(table1_rows[:8])
+        assert len(violations) == 1
+        assert violations[0].startswith("incomplete paper grid")
+        # extended rows alone cannot satisfy the grid either
+        extended = self._extended_row(table1_rows, "bloom")
+        assert shape_checks([extended])[0].startswith(
+            "incomplete paper grid")
+
     def test_paper_reference_data_complete(self):
         assert len(PAPER_TABLE1) == 9
         assert format_clock(6.0e9) == "6.00 GHz"

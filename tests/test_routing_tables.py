@@ -7,18 +7,23 @@ from hypothesis import given, settings, strategies as st
 
 from repro.errors import RoutingTableError
 from repro.ipv6.address import Ipv6Address, Ipv6Prefix
+from repro.obs import MetricsRegistry, set_registry
 from repro.routing import (
     BalancedTreeRoutingTable,
+    BloomRoutingTable,
     CamRoutingTable,
+    MultibitTrieRoutingTable,
     SequentialRoutingTable,
     TABLE_KINDS,
     make_table,
 )
 from repro.routing.cam import CamPhysicalModel
 from repro.routing.entry import RouteEntry
+from repro.workload.fib import FibProfile, synthesize_fib, zipf_addresses
 
 ALL_TABLES = [SequentialRoutingTable, BalancedTreeRoutingTable,
-              CamRoutingTable]
+              CamRoutingTable, MultibitTrieRoutingTable,
+              BloomRoutingTable]
 
 
 def entry(prefix_text, interface=0, metric=1):
@@ -113,7 +118,7 @@ class TestEquivalence:
                     unique=True),
            st.lists(st.integers(min_value=0, max_value=(1 << 128) - 1),
                     min_size=1, max_size=30))
-    def test_three_implementations_agree(self, prefixes, probe_values):
+    def test_all_implementations_agree(self, prefixes, probe_values):
         tables = [make_table(kind, capacity=64) for kind in TABLE_KINDS]
         for i, prefix in enumerate(prefixes):
             e = RouteEntry(prefix=prefix, next_hop=Ipv6Address(i + 1),
@@ -124,7 +129,7 @@ class TestEquivalence:
             probe = Ipv6Address(value)
             results = [t.lookup(probe) for t in tables]
             entries = [r.entry if r else None for r in results]
-            assert entries[0] == entries[1] == entries[2]
+            assert all(e == entries[0] for e in entries[1:])
 
     @settings(max_examples=25, deadline=None)
     @given(st.lists(prefix_strategy, min_size=4, max_size=30, unique=True),
@@ -141,12 +146,78 @@ class TestEquivalence:
         for victim in victims:
             for table in tables:
                 table.remove(victim)
-        tables[1].check_invariants()  # type: ignore[attr-defined]
+        for table in tables:
+            if hasattr(table, "check_invariants"):
+                table.check_invariants()
         for prefix in prefixes:
             probe = Ipv6Address(prefix.network.value | 1)
             entries = [r.entry if (r := t.lookup(probe)) else None
                        for t in tables]
-            assert entries[0] == entries[1] == entries[2]
+            assert all(e == entries[0] for e in entries[1:])
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(prefix_strategy, min_size=1, max_size=30, unique=True),
+           st.lists(st.integers(min_value=0, max_value=(1 << 128) - 1),
+                    min_size=1, max_size=20),
+           st.data())
+    def test_same_workload_same_counts(self, prefixes, probe_values, data):
+        """The cross-implementation accounting contract: one workload
+        produces identical hit/miss/insert/removal *counts* on every
+        implementation (steps legitimately differ — that is the whole
+        point of the comparison)."""
+        tables = [make_table(kind, capacity=64) for kind in TABLE_KINDS]
+        for i, prefix in enumerate(prefixes):
+            e = RouteEntry(prefix=prefix, next_hop=Ipv6Address(i + 1),
+                           interface=i % 4)
+            for table in tables:
+                table.insert(e)
+        replaced = data.draw(st.lists(st.sampled_from(prefixes),
+                                      max_size=5))
+        for prefix in replaced:
+            e = RouteEntry(prefix=prefix, next_hop=Ipv6Address(999),
+                           interface=3)
+            for table in tables:
+                table.insert(e)
+        victims = data.draw(st.lists(st.sampled_from(prefixes),
+                                     max_size=5, unique=True))
+        for victim in victims:
+            for table in tables:
+                table.remove(victim)
+        for value in probe_values:
+            for table in tables:
+                table.lookup(Ipv6Address(value))
+        reference = tables[0].stats
+        for table in tables[1:]:
+            stats = table.stats
+            assert stats.lookups == reference.lookups
+            assert stats.hits == reference.hits
+            assert stats.misses == reference.misses
+            assert stats.inserts == reference.inserts
+            assert stats.removals == reference.removals
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(prefix_strategy, min_size=1, max_size=40, unique=True),
+           st.lists(st.integers(min_value=0, max_value=(1 << 128) - 1),
+                    min_size=1, max_size=20))
+    def test_lookup_batch_matches_sequential_lookups(self, prefixes,
+                                                     probe_values):
+        """`lookup_batch` must report the same results, the same stats,
+        and the same per-address steps as per-address `lookup` — for
+        every implementation, including the sequential table's hashed
+        batch fast path."""
+        probes = [Ipv6Address(value) for value in probe_values]
+        for kind in TABLE_KINDS:
+            single, batched = (make_table(kind, capacity=64)
+                               for _ in range(2))
+            for i, prefix in enumerate(prefixes):
+                e = RouteEntry(prefix=prefix, next_hop=Ipv6Address(i + 1),
+                               interface=i % 4)
+                single.insert(e)
+                batched.insert(e)
+            expected = [single.lookup(address) for address in probes]
+            got = batched.lookup_batch(probes)
+            assert got == expected
+            assert batched.stats == single.stats
 
 
 class TestBalancedTree:
@@ -243,3 +314,323 @@ class TestCam:
             model.power_at(0)
         with pytest.raises(RoutingTableError):
             model.search_cycles(-1)
+
+
+@pytest.mark.parametrize("table_cls", ALL_TABLES)
+class TestAccountingRegressions:
+    """The routing-layer accounting bugfix sweep, pinned by regression.
+
+    * ``clear()`` used to call ``_remove`` directly, bypassing
+      ``stats.record_update`` and the ``routing_updates_total`` counter;
+    * ``load()`` used to run the full per-insert path (a per-entry
+      ``get`` probe plus capacity check — O(n²) on the sequential
+      table);
+    * the tree's replace path used to report ``_height(self._root)``
+      instead of the descent actually performed.
+    """
+
+    def test_clear_records_every_removal(self, table_cls):
+        registry = MetricsRegistry(enabled=True)
+        previous = set_registry(registry)
+        try:
+            table = table_cls()
+            for text in ("::/0", "2001::/16", "2001:db8::/32"):
+                table.insert(entry(text))
+            table.clear()
+            assert len(table) == 0
+            assert table.stats.removals == 3
+            assert table.stats.inserts == 3
+            counters = registry.snapshot()["counters"]
+            values = {tuple(sorted(v["labels"].items())): v["value"]
+                      for v in counters["routing_updates_total"]["values"]}
+            key = (("kind", table.kind), ("op", "remove"))
+            assert values[key] == 3
+        finally:
+            set_registry(previous)
+
+    def test_bulk_load_equivalent_to_per_insert(self, table_cls):
+        routes = synthesize_fib(60, seed=5)
+        bulk = table_cls(capacity=len(routes))
+        bulk.load(routes)
+        reference = table_cls(capacity=len(routes))
+        for route in routes:
+            reference.insert(route)
+        assert len(bulk) == len(reference)
+        assert {e.prefix: e for e in bulk} == \
+            {e.prefix: e for e in reference}
+        # overrides must keep the *counts* identical to the per-insert
+        # path; only total_update_steps may (and should) be cheaper
+        assert bulk.stats.inserts == reference.stats.inserts
+        assert bulk.stats.removals == reference.stats.removals
+        probes = zipf_addresses(routes, 50, seed=9)
+        assert [r.entry if r else None for r in bulk.lookup_batch(probes)] \
+            == [r.entry if r else None
+                for r in reference.lookup_batch(probes)]
+
+    def test_bulk_load_duplicates_collapse_to_last(self, table_cls):
+        routes = [entry("2001:db8::/32", 1), entry("2001:db8::/32", 2)]
+        table = table_cls(capacity=1)
+        table.load(routes)  # one distinct prefix: fits capacity 1
+        assert len(table) == 1
+        assert table.lookup(addr("2001:db8::9")).interface == 2
+        assert table.stats.inserts == 2  # both writes accounted
+
+    def test_bulk_load_capacity_checked_up_front(self, table_cls):
+        routes = synthesize_fib(20, seed=6)
+        table = table_cls(capacity=10)
+        with pytest.raises(RoutingTableError):
+            table.load(routes)
+        # no partial load: the check precedes the first write
+        assert len(table) == 0
+        assert table.stats.inserts == 0
+
+    def test_bulk_load_into_populated_table(self, table_cls):
+        table = table_cls(capacity=40)
+        table.insert(entry("::/0", 0))
+        routes = synthesize_fib(
+            20, seed=7, profile=FibProfile(include_default=False))
+        table.load(routes)
+        assert len(table) == 21
+        assert table.lookup(addr("9::1")).interface == 0
+
+
+class TestReplaceCost:
+    def test_tree_replace_cost_is_descent_plus_write(self):
+        # Single node: the descent visits one node, plus one write.
+        table = BalancedTreeRoutingTable()
+        table.insert(entry("2001:db8::/32", 1))
+        before = table.stats.total_update_steps
+        table.insert(entry("2001:db8::/32", 2))
+        assert table.stats.total_update_steps - before == 2
+        assert table.lookup(addr("2001:db8::1")).interface == 2
+
+    def test_tree_replace_cost_depends_on_node_depth(self):
+        # The regression: every replace reported the tree height.
+        # Replacing the root must be cheaper than replacing a leaf.
+        rng = random.Random(13)
+        table = BalancedTreeRoutingTable(capacity=256)
+        prefixes = []
+        for _ in range(128):
+            prefix = Ipv6Prefix.of(Ipv6Address(rng.getrandbits(128)), 64)
+            if prefix not in table:
+                table.insert(RouteEntry(prefix=prefix,
+                                        next_hop=Ipv6Address(1),
+                                        interface=0))
+                prefixes.append(prefix)
+
+        def replace_cost(prefix):
+            before = table.stats.total_update_steps
+            table.insert(RouteEntry(prefix=prefix, next_hop=Ipv6Address(2),
+                                    interface=1))
+            return table.stats.total_update_steps - before
+
+        costs = {replace_cost(prefix) for prefix in prefixes}
+        height = table.tree_height()
+        assert len(costs) > 1          # not one flat height-derived value
+        assert min(costs) == 2         # the root: one comparison + write
+        assert max(costs) <= height + 1
+
+    @pytest.mark.parametrize("table_cls", ALL_TABLES)
+    def test_replace_never_counts_as_fresh_insert(self, table_cls):
+        table = table_cls()
+        table.insert(entry("2001:db8::/32", 1))
+        table.insert(entry("2001:db8::/32", 2))
+        assert len(table) == 1
+        assert table.stats.inserts == 2
+        assert table.stats.removals == 0
+
+
+def _loaded_tables(prefix_count, seed):
+    routes = synthesize_fib(prefix_count, seed=seed)
+    tables = [make_table(kind, capacity=len(routes))
+              for kind in TABLE_KINDS]
+    for table in tables:
+        table.load(routes)
+    return routes, tables
+
+
+def _assert_tables_agree(routes, tables, probes):
+    answers = [table.lookup_batch(probes) for table in tables]
+    for per_table in zip(*answers):
+        entries = [r.entry if r else None for r in per_table]
+        assert all(e == entries[0] for e in entries[1:])
+
+
+class TestScalingEquivalence:
+    """LPM identical-semantics at FIB scale, all five implementations."""
+
+    @pytest.mark.parametrize("prefix_count", (100, 1_000, 10_000))
+    def test_agree_at_scale(self, prefix_count):
+        routes, tables = _loaded_tables(prefix_count, seed=prefix_count)
+        probes = zipf_addresses(routes, 300, seed=3)
+        # off-table probes exercise the miss paths too
+        rng = random.Random(4)
+        probes += [Ipv6Address(rng.getrandbits(128)) for _ in range(50)]
+        _assert_tables_agree(routes, tables, probes)
+        for table in tables:
+            if hasattr(table, "check_invariants"):
+                table.check_invariants()
+
+    @pytest.mark.parametrize("prefix_count", (1_000, 5_000))
+    def test_nested_adoption_survives_bulk_load_then_removal(
+            self, prefix_count):
+        """Bulk load, then randomly remove a third of the routes:
+        enclosing-chain adoption/release (tree), slot re-expansion and
+        pruning (trie), and filter decrements (Bloom) must all keep the
+        five structures in agreement."""
+        routes, tables = _loaded_tables(prefix_count, seed=17)
+        rng = random.Random(23)
+        victims = rng.sample(routes[1:], prefix_count // 3)
+        for victim in victims:
+            for table in tables:
+                table.remove(victim.prefix)
+        for table in tables:
+            assert len(table) == len(routes) - len(victims)
+            if hasattr(table, "check_invariants"):
+                table.check_invariants()
+        gone = {victim.prefix for victim in victims}
+        survivors = [r for r in routes if r.prefix not in gone]
+        probes = zipf_addresses(survivors, 200, seed=29)
+        probes += [Ipv6Address(rng.getrandbits(128)) for _ in range(50)]
+        _assert_tables_agree(routes, tables, probes)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("prefix_count", (100_000, 1_000_000))
+    def test_agree_at_fib_scale(self, prefix_count):
+        routes, tables = _loaded_tables(prefix_count, seed=41)
+        probes = zipf_addresses(routes, 500, seed=43)
+        _assert_tables_agree(routes, tables, probes)
+        for table in tables:
+            if hasattr(table, "check_invariants"):
+                table.check_invariants()
+
+
+class TestMultibitTrie:
+    def test_search_latency_is_pipeline_depth(self):
+        assert MultibitTrieRoutingTable(stride=8).search_latency_cycles() \
+            == 16
+        assert MultibitTrieRoutingTable(stride=4).search_latency_cycles() \
+            == 32
+        assert MultibitTrieRoutingTable(stride=13).search_latency_cycles() \
+            == 10  # ceil(128/13)
+
+    def test_bad_stride_rejected(self):
+        with pytest.raises(RoutingTableError):
+            MultibitTrieRoutingTable(stride=0)
+        with pytest.raises(RoutingTableError):
+            MultibitTrieRoutingTable(stride=33)
+
+    @pytest.mark.parametrize("stride", (4, 7, 8, 13))
+    def test_non_stride_aligned_lengths(self, stride):
+        """Prefix lengths that fall inside a node's span (/29, /36, ...)
+        exercise controlled prefix expansion; every stride must agree
+        with the sequential reference."""
+        routes = synthesize_fib(300, seed=31)
+        reference = SequentialRoutingTable(capacity=len(routes))
+        trie = MultibitTrieRoutingTable(capacity=len(routes),
+                                        stride=stride)
+        reference.load(routes)
+        trie.load(routes)
+        trie.check_invariants()
+        probes = zipf_addresses(routes, 150, seed=37)
+        for probe in probes:
+            want = reference.lookup(probe)
+            got = trie.lookup(probe)
+            assert (got.entry if got else None) == \
+                (want.entry if want else None)
+
+    def test_lookup_steps_bounded_by_depth(self):
+        routes = synthesize_fib(2_000, seed=47)
+        trie = MultibitTrieRoutingTable(capacity=len(routes))
+        trie.load(routes)
+        probes = zipf_addresses(routes, 200, seed=53)
+        for probe in probes:
+            result = trie.lookup(probe)
+            assert result.steps <= trie.max_depth()
+
+    def test_pruning_restores_insert_built_state(self):
+        """Removal must leave exactly the structure repeated inserts
+        would have built: no empty interior nodes, exact node count."""
+        routes = synthesize_fib(200, seed=59)
+        trie = MultibitTrieRoutingTable(capacity=len(routes))
+        trie.load(routes)
+        rng = random.Random(61)
+        for victim in rng.sample(routes, 150):
+            trie.remove(victim.prefix)
+            trie.check_invariants()
+        rebuilt = MultibitTrieRoutingTable(capacity=len(routes))
+        for route in trie:
+            rebuilt.insert(route)
+        assert trie.node_count() == rebuilt.node_count()
+        assert trie.slot_count() == rebuilt.slot_count()
+
+    def test_memory_grows_with_occupancy(self):
+        small = MultibitTrieRoutingTable(capacity=10_000)
+        big = MultibitTrieRoutingTable(capacity=10_000)
+        small.load(synthesize_fib(100, seed=67))
+        big.load(synthesize_fib(5_000, seed=67))
+        assert big.table_memory_bytes() > small.table_memory_bytes()
+        assert big.node_count() > small.node_count()
+
+
+class TestBloom:
+    def test_deterministic_across_instances(self):
+        routes = synthesize_fib(500, seed=71)
+        a = BloomRoutingTable(capacity=len(routes))
+        b = BloomRoutingTable(capacity=len(routes))
+        a.load(routes)
+        for route in routes:
+            b.insert(route)
+        assert a.filter_info() == b.filter_info()
+        probes = zipf_addresses(routes, 100, seed=73)
+        for probe in probes:
+            ra, rb = a.lookup(probe), b.lookup(probe)
+            assert (ra.entry, ra.steps) == (rb.entry, rb.steps)
+
+    def test_removal_decrements_filters(self):
+        table = BloomRoutingTable()
+        table.insert(entry("2001:db8::/32", 1))
+        table.insert(entry("2001:db8:1::/48", 2))
+        table.remove(Ipv6Prefix.parse("2001:db8:1::/48"))
+        info = table.filter_info()
+        assert 48 not in info  # empty length class dropped entirely
+        assert info[32][0] == 1
+        table.check_invariants()
+
+    def test_no_false_negatives_under_churn(self):
+        rng = random.Random(79)
+        table = BloomRoutingTable(capacity=512)
+        live = []
+        for _ in range(600):
+            if live and rng.random() < 0.45:
+                victim = live.pop(rng.randrange(len(live)))
+                table.remove(victim)
+            else:
+                prefix = Ipv6Prefix.of(Ipv6Address(rng.getrandbits(128)),
+                                       rng.choice([16, 32, 48, 64]))
+                if prefix not in table:
+                    table.insert(RouteEntry(prefix=prefix,
+                                            next_hop=Ipv6Address(1),
+                                            interface=0))
+                    live.append(prefix)
+        table.check_invariants()  # stored prefixes all filter-positive
+
+    def test_expected_steps_near_constant(self):
+        """The headline property: mean lookup steps stay near the
+        filter-bank probe + one hash-table access as the table grows."""
+        means = {}
+        for count in (200, 2_000):
+            routes = synthesize_fib(count, seed=83)
+            table = BloomRoutingTable(capacity=len(routes))
+            table.load(routes)
+            table.lookup_batch(zipf_addresses(routes, 300, seed=89))
+            means[count] = table.stats.mean_lookup_steps
+        assert means[200] < 4.0
+        assert means[2_000] < 4.0
+        assert abs(means[2_000] - means[200]) < 1.0
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(RoutingTableError):
+            BloomRoutingTable(slots_per_entry=1)
+        with pytest.raises(RoutingTableError):
+            BloomRoutingTable(hash_count=0)
