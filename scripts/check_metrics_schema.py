@@ -90,6 +90,18 @@ _LABEL_DOMAINS = (
     ("counters", "routing_updates_total", "kind", "routing_table_kind"),
     ("counters", "routing_updates_total", "op", "routing_update_op"),
     ("counters", "routing_update_steps_total", "kind", "routing_table_kind"),
+    ("counters", "routing_corruption_detected_total", "kind",
+     "routing_table_kind"),
+    ("counters", "routing_corruption_detected_total", "protection",
+     "protection"),
+    ("counters", "routing_degraded_lookups_total", "kind",
+     "routing_table_kind"),
+    ("counters", "routing_degraded_lookups_total", "protection",
+     "protection"),
+    ("counters", "sdc_memory_injections_total", "memory_site",
+     "memory_site"),
+    ("counters", "sdc_memory_injections_total", "protection",
+     "protection"),
 )
 
 

@@ -54,8 +54,12 @@ from repro.dse.explorer import ExplorationOutcome, GreedyExplorer
 from repro.dse.parallel import ParallelCampaignRunner
 from repro.dse.pareto import DesignConstraints
 from repro.dse.sdc import (
+    DEFAULT_MEMORY_FLIPS,
+    DEFAULT_MEMORY_LOOKUPS,
     DEFAULT_RATE,
     DEFAULT_TRIALS,
+    MemorySweepResult,
+    MemorySweepRunner,
     SdcSweepResult,
     SdcSweepRunner,
 )
@@ -99,6 +103,7 @@ __all__ = [
     "run_assault",
     "run_chaos",
     "sdc_sweep",
+    "memory_sdc_sweep",
     "campaign_service",
     "service_chaos",
     "metrics",
@@ -117,6 +122,7 @@ __all__ = [
     "JobRecord",
     "LookupSweepResult",
     "ReplayReport",
+    "MemorySweepResult",
     "ResilienceReport",
     "RunOptions",
     "SdcSweepResult",
@@ -391,6 +397,42 @@ def sdc_sweep(configs, *,
         trials=trials, rate=rate, seed=seed, max_faults=max_faults,
         jobs=jobs, journal_path=journal, resume=resume, backend=backend)
     return runner.run(list(configs))
+
+
+def memory_sdc_sweep(*, kinds=None,
+                     protections=None,
+                     prefixes: int = 1000,
+                     lookups: int = DEFAULT_MEMORY_LOOKUPS,
+                     trials: int = DEFAULT_TRIALS,
+                     flips: int = DEFAULT_MEMORY_FLIPS,
+                     seed: int = 0,
+                     fib_seed: int = 2026,
+                     jobs: int = 1,
+                     journal: Optional[str] = None,
+                     resume: bool = False) -> MemorySweepResult:
+    """Table-state (stored FIB) soft-error vulnerability sweep.
+
+    Where :func:`sdc_sweep` flips bits *in flight* on the datapath,
+    this sweep flips bits *at rest*: each trial loads a routing table
+    of every requested kind with a synthesized ``prefixes``-route FIB
+    (:mod:`repro.workload.fib`), corrupts one of its memory sites
+    (entries, tree nodes, CAM rows, trie node/slot arrays, Bloom
+    vectors and buckets), replays Zipf traffic against the differential
+    oracle, and classifies the divergence. Each (kind, protection)
+    cell also prices its parity/checksum hardware via
+    :func:`repro.estimation.estimate_protection_overhead`, so the
+    result reads as a protection-cost-vs-SDC-rate tradeoff.
+
+    ``jobs``/``journal``/``resume`` behave exactly as in
+    :func:`sdc_sweep`: sequential, parallel, and resumed sweeps are
+    byte-identical.
+    """
+    runner = MemorySweepRunner(
+        kinds=kinds, protections=protections, prefixes=prefixes,
+        lookups=lookups, trials=trials, flips=flips, seed=seed,
+        fib_seed=fib_seed, jobs=jobs, journal_path=journal,
+        resume=resume)
+    return runner.run()
 
 
 def campaign_service(root: str, *,

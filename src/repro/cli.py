@@ -69,7 +69,11 @@ from repro.dse.evaluator import DEFAULT_EVALUATION_MAX_CYCLES
 from repro.dse.table1 import table1_to_dict
 from repro.ipv6.address import Ipv6Prefix
 from repro.obs import get_registry, render_snapshot
-from repro.router.network import line_topology, ring_topology
+from repro.router.network import (
+    line_topology,
+    ring_topology,
+    seed_fib_routes,
+)
 from repro.tta.backends import BACKEND_AUTO, available_backends
 
 
@@ -197,6 +201,12 @@ def _build_parser() -> argparse.ArgumentParser:
     rip = sub.add_parser("ripng", help="RIPng convergence simulation")
     rip.add_argument("--topology", choices=("line", "ring"), default="line")
     rip.add_argument("--routers", type=int, default=4)
+    rip.add_argument("--prefixes", type=int, default=None, metavar="N",
+                     help="originate a synthesized N-prefix BGP-shaped "
+                          "FIB across the routers before converging")
+    rip.add_argument("--fib-seed", type=int, default=2026,
+                     help="FIB synthesis seed for --prefixes "
+                          "(default 2026)")
     rip.add_argument("--capture", default=None, metavar="PATH",
                      help="tap every link and write the run's frames as "
                           "a classic pcap (replayable via "
@@ -252,6 +262,12 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--topology", choices=("line", "ring"),
                        default="line")
     chaos.add_argument("--routers", type=int, default=5)
+    chaos.add_argument("--prefixes", type=int, default=None, metavar="N",
+                       help="originate a synthesized N-prefix FIB "
+                            "across the routers before the chaos phase")
+    chaos.add_argument("--fib-seed", type=int, default=2026,
+                       help="FIB synthesis seed for --prefixes "
+                            "(default 2026)")
     chaos.add_argument("--seed", type=int, default=0,
                        help="scenario seed (runs replay bit-for-bit)")
     chaos.add_argument("--drop", type=float, default=0.0,
@@ -274,11 +290,32 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_output_argument(chaos)
 
     sdc = sub.add_parser(
-        "sdc", help="datapath soft-error (SDC) vulnerability sweep")
+        "sdc", help="soft-error (SDC) vulnerability sweep: datapath "
+                    "bit flips by default, stored-FIB (memory-state) "
+                    "flips with --prefixes")
     sdc.add_argument("--table", action="append", default=None,
-                     choices=("sequential", "balanced-tree", "cam"),
+                     choices=("sequential", "balanced-tree", "cam",
+                              "multibit-trie", "bloom"),
                      help="routing-table kind to sweep (repeatable; "
-                          "default: all three)")
+                          "datapath default: sequential/balanced-tree/"
+                          "cam; memory default: all five)")
+    sdc.add_argument("--prefixes", type=int, default=None, metavar="N",
+                     help="switch to the memory-state sweep: strike "
+                          "stored-FIB bits of tables loaded with a "
+                          "synthesized N-prefix FIB (repro.workload.fib)")
+    sdc.add_argument("--protection", action="append", default=None,
+                     choices=("none", "parity", "checksum"),
+                     help="integrity-protection mode for the memory "
+                          "sweep (repeatable; default: all three)")
+    sdc.add_argument("--lookups", type=int, default=200,
+                     help="Zipf probe addresses per memory trial "
+                          "(default 200)")
+    sdc.add_argument("--flips", type=int, default=1,
+                     help="stored bits flipped per memory trial "
+                          "(default 1)")
+    sdc.add_argument("--fib-seed", type=int, default=2026,
+                     help="FIB synthesis seed for --prefixes "
+                          "(default 2026)")
     sdc.add_argument("--buses", type=int, nargs="+", default=[1, 2, 3],
                      metavar="N", help="bus counts to sweep (default 1 2 3)")
     sdc.add_argument("--site", action="append", default=None,
@@ -594,11 +631,29 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_ripng(args: argparse.Namespace) -> int:
-    if args.topology == "line":
-        network = line_topology(args.routers)
+def _build_scenario_network(args: argparse.Namespace):
+    """Topology for the ripng/chaos commands, optionally FIB-seeded.
+
+    With ``--prefixes`` every router's table is sized for the full
+    synthesized FIB plus the connected/closing prefixes the topology
+    itself originates, and the routes are distributed before the
+    simulation starts so convergence spreads a realistic table.
+    """
+    builder = line_topology if args.topology == "line" else ring_topology
+    prefixes = getattr(args, "prefixes", None)
+    if prefixes:
+        capacity = prefixes + 4 * args.routers + 8
+        network = builder(args.routers, table_capacity=capacity)
+        seeded = seed_fib_routes(network, prefixes, seed=args.fib_seed)
+        print(f"originated {seeded} synthesized routes "
+              f"(fib seed {args.fib_seed})")
     else:
-        network = ring_topology(args.routers)
+        network = builder(args.routers)
+    return network
+
+
+def _cmd_ripng(args: argparse.Namespace) -> int:
+    network = _build_scenario_network(args)
     taps = None
     if args.capture:
         from repro.pcap import attach_taps
@@ -644,10 +699,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.errors import ReproError
     from repro.faults import ChaosScenario, FlapSchedule
 
-    if args.topology == "line":
-        network = line_topology(args.routers)
-    else:
-        network = ring_topology(args.routers)
+    network = _build_scenario_network(args)
     try:
         flaps = FlapSchedule()
         for spec in args.flap:
@@ -671,6 +723,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def _cmd_sdc(args: argparse.Namespace) -> int:
+    if args.prefixes is not None:
+        return _cmd_sdc_memory(args)
     from repro.dse.sdc import SdcSweepRunner
 
     tables = args.table or ["sequential", "balanced-tree", "cam"]
@@ -683,6 +737,26 @@ def _cmd_sdc(args: argparse.Namespace) -> int:
         jobs=args.jobs, journal_path=args.journal, resume=args.resume,
         backend=args.backend)
     result = runner.run(configs)
+    print(result.render())
+    if args.output:
+        _write_json(args.output, result.to_dict())
+    if result.resumed:
+        print(f"(resumed {result.resumed} trial(s) from {args.journal})",
+              file=sys.stderr)
+    failed = sum(row["failed"] for row in result.rows)
+    return 3 if failed else 0
+
+
+def _cmd_sdc_memory(args: argparse.Namespace) -> int:
+    from repro.dse.sdc import MemorySweepRunner
+
+    runner = MemorySweepRunner(
+        kinds=args.table, protections=args.protection,
+        prefixes=args.prefixes, lookups=args.lookups,
+        trials=args.trials, flips=args.flips,
+        seed=args.seed, fib_seed=args.fib_seed,
+        jobs=args.jobs, journal_path=args.journal, resume=args.resume)
+    result = runner.run()
     print(result.render())
     if args.output:
         _write_json(args.output, result.to_dict())

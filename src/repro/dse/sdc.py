@@ -51,15 +51,29 @@ from repro.dse.campaign import (
 from repro.dse.config import ArchitectureConfiguration
 from repro.dse.parallel import default_start_method
 from repro.errors import CampaignError, ReproError
+from repro.estimation.lookup import estimate_protection_overhead
 from repro.faults.datapath import FAULT_SITES
+from repro.faults.memory import MEMORY_SITES
 from repro.faults.seeds import derive_seed
 from repro.obs import get_registry
+from repro.routing import TABLE_KINDS, make_table
 from repro.routing.entry import RouteEntry
-from repro.verify.oracle import OUTCOMES, DifferentialOracle
+from repro.routing.protected import PROTECTION_MODES
+from repro.verify.oracle import (
+    OUTCOMES,
+    DifferentialOracle,
+    MemoryDifferentialOracle,
+)
 from repro.workload import generate_routes, worst_case_workload
+from repro.workload.fib import synthesize_fib, zipf_addresses
 
 DEFAULT_TRIALS = 8
 DEFAULT_RATE = 0.002
+
+DEFAULT_MEMORY_LOOKUPS = 200
+DEFAULT_MEMORY_FLIPS = 1
+DEFAULT_FIB_SEED = 2026
+DEFAULT_TRAFFIC_SEED = 77
 
 
 # -- trials ------------------------------------------------------------------------
@@ -494,3 +508,484 @@ def run_sdc_sweep(configs: Sequence[ArchitectureConfiguration],
     and ``jobs`` behave exactly as in the performance campaigns.
     """
     return SdcSweepRunner(**kwargs).run(configs)
+
+
+# ===================================================================================
+# Memory-state (table FIB) vulnerability sweep
+# ===================================================================================
+#
+# The datapath sweep above strikes bits *in flight*; this sweep strikes
+# bits *at rest* — the stored FIB of any routing structure at any scale,
+# under any protection mode — using the MemoryDifferentialOracle. Same
+# journal format, same resume semantics, same parent-side metrics
+# discipline, same sequential == parallel == resumed byte-identity.
+
+
+def memory_sites_for(kind: str) -> Tuple[str, ...]:
+    """The memory sites a table kind physically has."""
+    return make_table(kind, capacity=1).memory_sites()
+
+
+@dataclass(frozen=True)
+class MemoryTrial:
+    """One scheduled table-state injection trial."""
+
+    kind: str
+    protection: str
+    site: str
+    index: int
+    seed: int
+    flips: int
+
+    @property
+    def key(self) -> str:
+        """Canonical journal identity of this trial."""
+        return json.dumps({
+            "mode": "memory",
+            "kind": self.kind,
+            "protection": self.protection,
+            "site": self.site,
+            "trial": self.index,
+            "seed": self.seed,
+            "flips": self.flips,
+        }, sort_keys=True, separators=(",", ":"))
+
+
+def plan_memory_trials(kinds: Sequence[str], protections: Sequence[str],
+                       trials: int, flips: int,
+                       seed: int) -> List[MemoryTrial]:
+    """Deterministic enumeration: kind-major, then protection, then
+    site, then index. Seeds derive from the trial's identity, never its
+    position, so adding a kind or protection re-rolls nothing."""
+    plan: List[MemoryTrial] = []
+    for kind in kinds:
+        for protection in protections:
+            for site in memory_sites_for(kind):
+                for index in range(trials):
+                    plan.append(MemoryTrial(
+                        kind=kind, protection=protection, site=site,
+                        index=index,
+                        seed=derive_seed(seed, "memory", kind, protection,
+                                         site, index),
+                        flips=flips))
+    return plan
+
+
+def _classify_memory_trial(oracle: MemoryDifferentialOracle,
+                           trial: MemoryTrial) -> Dict[str, object]:
+    """One trial -> one journal record (never raises for ReproError)."""
+    base: Dict[str, object] = {
+        "v": JOURNAL_VERSION,
+        "key": trial.key,
+        "mode": "memory",
+        "kind": trial.kind,
+        "protection": trial.protection,
+        "site": trial.site,
+        "trial": trial.index,
+        "seed": trial.seed,
+        "flips": trial.flips,
+    }
+    try:
+        outcome = oracle.classify(seed=trial.seed, site=trial.site,
+                                  flips=trial.flips)
+    except ReproError as exc:
+        base["status"] = "failed"
+        base["error"] = type(exc).__name__
+        base["message"] = str(exc)
+        return base
+    base["status"] = "ok"
+    base["outcome"] = outcome.to_dict()
+    return base
+
+
+# -- worker side -------------------------------------------------------------------
+
+_memory_worker_workload: Optional[Tuple[int, int, int, int]] = None
+_memory_worker_oracles: Dict[Tuple[str, str], MemoryDifferentialOracle] = {}
+
+
+def _init_memory_worker(prefixes: int, fib_seed: int, lookups: int,
+                        traffic_seed: int) -> None:
+    # Workers re-synthesize the FIB deterministically from the scalar
+    # parameters instead of shipping ~N route objects per process.
+    global _memory_worker_workload
+    _memory_worker_workload = (prefixes, fib_seed, lookups, traffic_seed)
+    _memory_worker_oracles.clear()
+
+
+def _memory_workload(prefixes: int, fib_seed: int, lookups: int,
+                     traffic_seed: int):
+    routes = synthesize_fib(prefixes, seed=fib_seed)
+    addresses = zipf_addresses(routes, lookups, seed=traffic_seed)
+    return routes, addresses
+
+
+def _classify_memory_chunk(payloads: List[Dict[str, object]]
+                           ) -> List[Dict[str, object]]:
+    """Classify a chunk of memory-trial payloads in a pool worker.
+
+    The per-process oracle cache means one clean golden build per
+    (kind, protection) cell per worker."""
+    prefixes, fib_seed, lookups, traffic_seed = _memory_worker_workload
+    routes, addresses = _memory_workload(prefixes, fib_seed, lookups,
+                                         traffic_seed)
+    records = []
+    for payload in payloads:
+        trial = MemoryTrial(
+            kind=payload["kind"], protection=payload["protection"],
+            site=payload["site"], index=payload["trial"],
+            seed=payload["seed"], flips=payload["flips"])
+        cache_key = (trial.kind, trial.protection)
+        oracle = _memory_worker_oracles.get(cache_key)
+        if oracle is None:
+            oracle = MemoryDifferentialOracle(
+                trial.kind, trial.protection, routes, addresses)
+            _memory_worker_oracles[cache_key] = oracle
+        records.append(_classify_memory_trial(oracle, trial))
+    return records
+
+
+# -- results -----------------------------------------------------------------------
+
+
+def memory_vulnerability_row(kind: str, protection: str,
+                             records: Sequence[Dict[str, object]],
+                             protection_cost: Optional[Dict[str, object]]
+                             ) -> Dict[str, object]:
+    """Distil one (kind, protection) cell into its table row."""
+    counts = {outcome: 0 for outcome in OUTCOMES}
+    by_site: Dict[str, Dict[str, int]] = {}
+    failed = 0
+    flips_total = 0
+    for record in records:
+        if record["status"] != "ok":
+            failed += 1
+            continue
+        outcome = record["outcome"]
+        klass = outcome["outcome"]
+        counts[klass] += 1
+        flips_total += outcome["faults_injected"]
+        site_counts = by_site.setdefault(
+            record["site"], {o: 0 for o in OUTCOMES})
+        site_counts[klass] += 1
+    ok = sum(counts.values())
+    not_masked = ok - counts["masked"]
+    caught = counts["detected"] + counts["crash"] + counts["hang"]
+    return {
+        "kind": kind,
+        "protection": protection,
+        "trials": ok,
+        "failed": failed,
+        "outcomes": dict(counts),
+        # canonical physical order, not alphabetical, so cross-kind
+        # rows list their sites the way MEMORY_SITES declares them
+        "by_site": {site: dict(by_site[site])
+                    for site in MEMORY_SITES if site in by_site},
+        "flips_injected": flips_total,
+        "sdc_rate": counts["sdc"] / ok if ok else None,
+        "detection_coverage": caught / not_masked if not_masked else None,
+        "protection_cost": protection_cost,
+    }
+
+
+@dataclass
+class MemorySweepResult:
+    """Outcome of one (possibly resumed) table-state sweep."""
+
+    records: List[Dict[str, object]]  # plan order, one per trial
+    rows: List[Dict[str, object]]     # one per (kind, protection) cell
+    kinds: Tuple[str, ...]
+    protections: Tuple[str, ...]
+    trials_per_site: int
+    flips: int
+    seed: int
+    prefix_count: int
+    lookups: int
+    fib_seed: int
+    resumed: int = 0
+    discarded_records: int = 0
+
+    @property
+    def outcome_totals(self) -> Dict[str, int]:
+        totals = {outcome: 0 for outcome in OUTCOMES}
+        for row in self.rows:
+            for outcome, count in row["outcomes"].items():
+                totals[outcome] += count
+        return totals
+
+    def render(self) -> str:
+        """Deterministic text artifact — byte-identical whether the
+        sweep ran through, ran parallel, or was killed and resumed."""
+        from repro.reporting.reliability import (
+            render_memory_vulnerability_table,
+        )
+        return render_memory_vulnerability_table(self)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view, free of resume/journal bookkeeping (the
+        saved document must be byte-identical whether the sweep ran
+        through, ran parallel, or was killed and resumed)."""
+        return {
+            "mode": "memory",
+            "kinds": list(self.kinds),
+            "protections": list(self.protections),
+            "trials_per_site": self.trials_per_site,
+            "flips": self.flips,
+            "seed": self.seed,
+            "prefix_count": self.prefix_count,
+            "lookups": self.lookups,
+            "fib_seed": self.fib_seed,
+            "rows": list(self.rows),
+            "outcome_totals": self.outcome_totals,
+            "records": list(self.records),
+        }
+
+    def write_output(self, path: str) -> None:
+        write_atomic(path, self.render() + "\n")
+
+
+# -- the runner --------------------------------------------------------------------
+
+
+class MemorySweepRunner:
+    """Journal-backed, optionally parallel table-state sweep driver."""
+
+    def __init__(self,
+                 kinds: Optional[Sequence[str]] = None,
+                 protections: Optional[Sequence[str]] = None,
+                 prefixes: int = 1000,
+                 lookups: int = DEFAULT_MEMORY_LOOKUPS,
+                 trials: int = DEFAULT_TRIALS,
+                 flips: int = DEFAULT_MEMORY_FLIPS,
+                 seed: int = 0,
+                 fib_seed: int = DEFAULT_FIB_SEED,
+                 traffic_seed: int = DEFAULT_TRAFFIC_SEED,
+                 jobs: int = 1,
+                 journal_path: Optional[str] = None,
+                 resume: bool = False,
+                 chunk_size: Optional[int] = None,
+                 start_method: Optional[str] = None):
+        if jobs < 1:
+            raise CampaignError(f"jobs must be >= 1, got {jobs}")
+        if trials < 1:
+            raise CampaignError(f"trials must be >= 1, got {trials}")
+        if prefixes < 1:
+            raise CampaignError(f"prefixes must be >= 1, got {prefixes}")
+        if lookups < 1:
+            raise CampaignError(f"lookups must be >= 1, got {lookups}")
+        if flips < 1:
+            raise CampaignError(f"flips must be >= 1, got {flips}")
+        chosen_kinds = tuple(kinds) if kinds is not None \
+            else tuple(TABLE_KINDS)
+        unknown = sorted(set(chosen_kinds) - set(TABLE_KINDS))
+        if unknown:
+            raise CampaignError(
+                f"unknown table kinds {unknown}; "
+                f"valid kinds are {sorted(TABLE_KINDS)}")
+        chosen_protections = tuple(protections) if protections is not None \
+            else PROTECTION_MODES
+        unknown = sorted(set(chosen_protections) - set(PROTECTION_MODES))
+        if unknown:
+            raise CampaignError(
+                f"unknown protection modes {unknown}; "
+                f"valid modes are {sorted(PROTECTION_MODES)}")
+        self.kinds = tuple(k for k in TABLE_KINDS if k in chosen_kinds)
+        self.protections = tuple(p for p in PROTECTION_MODES
+                                 if p in chosen_protections)
+        self.prefixes = prefixes
+        self.lookups = lookups
+        self.trials = trials
+        self.flips = flips
+        self.seed = seed
+        self.fib_seed = fib_seed
+        self.traffic_seed = traffic_seed
+        self.jobs = jobs
+        self.journal_path = journal_path
+        self.chunk_size = chunk_size
+        self.start_method = start_method or default_start_method()
+        self.resumed = 0
+        self.discarded_records = 0
+        self._records: Dict[str, Dict[str, object]] = {}
+        self._replayed_keys: set = set()
+        self._oracles: Dict[Tuple[str, str], MemoryDifferentialOracle] = {}
+        self._workload: Optional[tuple] = None
+        if resume:
+            if journal_path is None:
+                raise CampaignError("resume requested without a journal")
+            if os.path.exists(journal_path):
+                records, discarded = load_journal(journal_path)
+                self.discarded_records = discarded
+                for record in records:
+                    self._records[record["key"]] = record
+                self._replayed_keys = set(self._records)
+                if discarded:
+                    write_atomic(journal_path, "".join(
+                        _record_line(r) + "\n" for r in records))
+        elif journal_path is not None and os.path.exists(journal_path) \
+                and os.path.getsize(journal_path) > 0:
+            raise CampaignError(
+                f"journal {journal_path!r} already exists; resume the "
+                f"sweep (resume=True / --resume) or remove the file")
+
+    # -- sweep driver -------------------------------------------------------------
+
+    def run(self) -> MemorySweepResult:
+        """Sweep every ``kind x protection x site x trial``."""
+        registry = get_registry()
+        plan = plan_memory_trials(self.kinds, self.protections,
+                                  self.trials, self.flips, self.seed)
+        pending: List[MemoryTrial] = []
+        for trial in plan:
+            key = trial.key
+            if key in self._records:
+                if key in self._replayed_keys:
+                    self._replayed_keys.discard(key)
+                    self.resumed += 1
+                    if registry.enabled:
+                        registry.counter(
+                            "sdc_resumed_total",
+                            "injection trials replayed from a journal"
+                        ).inc()
+            else:
+                pending.append(trial)
+        if pending and self.jobs > 1:
+            pending = self._run_pool(pending)
+        for trial in pending:
+            if trial.key not in self._records:
+                self._persist(trial.key, _classify_memory_trial(
+                    self._oracle(trial.kind, trial.protection), trial))
+
+        ordered = [self._records[trial.key] for trial in plan]
+        rows = []
+        offset = 0
+        for kind in self.kinds:
+            per_cell = len(memory_sites_for(kind)) * self.trials
+            for protection in self.protections:
+                rows.append(memory_vulnerability_row(
+                    kind, protection,
+                    ordered[offset:offset + per_cell],
+                    self._protection_cost(kind, protection)))
+                offset += per_cell
+        return MemorySweepResult(
+            records=ordered, rows=rows, kinds=self.kinds,
+            protections=self.protections, trials_per_site=self.trials,
+            flips=self.flips, seed=self.seed, prefix_count=self.prefixes,
+            lookups=self.lookups, fib_seed=self.fib_seed,
+            resumed=self.resumed,
+            discarded_records=self.discarded_records)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _get_workload(self):
+        if self._workload is None:
+            self._workload = _memory_workload(
+                self.prefixes, self.fib_seed, self.lookups,
+                self.traffic_seed)
+        return self._workload
+
+    def _oracle(self, kind: str,
+                protection: str) -> MemoryDifferentialOracle:
+        cell = (kind, protection)
+        oracle = self._oracles.get(cell)
+        if oracle is None:
+            routes, addresses = self._get_workload()
+            oracle = MemoryDifferentialOracle(
+                kind, protection, routes, addresses)
+            self._oracles[cell] = oracle
+        return oracle
+
+    def _protection_cost(self, kind: str,
+                         protection: str) -> Dict[str, object]:
+        """Table-1-style pricing of the cell's protection hardware,
+        measured on the clean golden build (deterministic, so rows are
+        byte-identical across sequential/parallel/resumed runs)."""
+        oracle = self._oracle(kind, protection)
+        _ = oracle.golden
+        return estimate_protection_overhead(
+            kind, protection, self.prefixes,
+            oracle.mean_lookup_steps, oracle.table_memory_bytes,
+            oracle.protected_records if protection != "none" else 0)
+
+    def _run_pool(self, pending: List[MemoryTrial]) -> List[MemoryTrial]:
+        """Fan *pending* out over a process pool; returns the trials the
+        pool never finished (evaluated in-parent by the caller)."""
+        chunks = self._chunked(pending)
+        pool = ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(chunks)),
+            mp_context=multiprocessing.get_context(self.start_method),
+            initializer=_init_memory_worker,
+            initargs=(self.prefixes, self.fib_seed, self.lookups,
+                      self.traffic_seed))
+        try:
+            futures = []
+            for chunk in chunks:
+                payloads = [{
+                    "kind": trial.kind, "protection": trial.protection,
+                    "site": trial.site, "trial": trial.index,
+                    "seed": trial.seed, "flips": trial.flips,
+                } for trial in chunk]
+                futures.append((pool.submit(_classify_memory_chunk,
+                                            payloads), chunk))
+            for future, chunk in futures:
+                try:
+                    records = future.result()
+                except BrokenExecutor:
+                    # pool died: the caller classifies what's left
+                    # in-process — slower, never wrong
+                    break
+                for trial, record in zip(chunk, records):
+                    self._persist(trial.key, record)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return [trial for trial in pending
+                if trial.key not in self._records]
+
+    def _chunked(self, pending: Sequence[MemoryTrial]
+                 ) -> List[List[MemoryTrial]]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, len(pending) // (self.jobs * 4))
+        return [list(pending[i:i + size])
+                for i in range(0, len(pending), size)]
+
+    def _persist(self, key: str,
+                 record: Dict[str, object]) -> Dict[str, object]:
+        self._records[key] = record
+        self._publish_record_metrics(record)
+        if self.journal_path is not None:
+            with open(self.journal_path, "a", encoding="utf-8") as handle:
+                handle.write(_record_line(record) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+        return record
+
+    @staticmethod
+    def _publish_record_metrics(record: Dict[str, object]) -> None:
+        """Parent-side, persist-time-only metrics (same discipline as
+        the datapath sweep: resumed trials never double-count)."""
+        registry = get_registry()
+        if not registry.enabled:
+            return
+        registry.counter(
+            "sdc_trials_total",
+            "classified injection trials by status", ("status",)
+        ).inc(status=record["status"])
+        if record["status"] != "ok":
+            return
+        outcome = record["outcome"]
+        registry.counter(
+            "sdc_outcomes_total",
+            "injection trials by oracle classification", ("outcome",)
+        ).inc(outcome=outcome["outcome"])
+        injections = registry.counter(
+            "sdc_memory_injections_total",
+            "table-state bit flips actually applied",
+            ("memory_site", "protection"))
+        for site, count in sorted(outcome["faults_by_site"].items()):
+            injections.inc(count, memory_site=site,
+                           protection=record["protection"])
+
+
+def run_memory_sweep(**kwargs) -> MemorySweepResult:
+    """One-shot convenience over :class:`MemorySweepRunner`."""
+    return MemorySweepRunner(**kwargs).run()

@@ -10,9 +10,11 @@ from repro.estimation.frequency import (
 )
 from repro.estimation.lookup import (
     LOOKUP_COST_MODELS,
+    PROTECTION_WORD_BITS,
     LookupCostParameters,
     LookupEstimate,
     estimate_lookup_point,
+    estimate_protection_overhead,
 )
 from repro.estimation.power import PowerBreakdown, estimate_power
 from repro.estimation.technology import (
@@ -29,4 +31,5 @@ __all__ = [
     "MAX_CLOCK_HZ", "feasible", "gate_sizing_factor",
     "LOOKUP_COST_MODELS", "LookupCostParameters", "LookupEstimate",
     "estimate_lookup_point",
+    "PROTECTION_WORD_BITS", "estimate_protection_overhead",
 ]

@@ -129,6 +129,61 @@ def _cam_fixed_point(constraint: ThroughputConstraint,
     raise EstimationError("CAM latency fixed point did not converge")
 
 
+#: protection-word width per protected record, by mode (the hardware
+#: cost of turning silent corruption into detected events)
+PROTECTION_WORD_BITS: Dict[str, int] = {
+    "none": 0,
+    "parity": 1,
+    "checksum": 32,
+}
+
+
+def estimate_protection_overhead(kind: str, protection: str,
+                                 prefix_count: int,
+                                 mean_lookup_steps: float,
+                                 table_memory_bytes: int,
+                                 protected_records: int,
+                                 constraint: Optional[
+                                     ThroughputConstraint] = None) -> dict:
+    """Area/power cost of carrying parity/checksum words in the table.
+
+    Prices the protected structure exactly like the unprotected one
+    but with ``protected_records × word_bits`` of extra table SRAM —
+    the same Table-1-style derivation the lookup sweep uses, so the
+    vulnerability sweep can report SDC rate and protection cost side
+    by side.
+    """
+    try:
+        word_bits = PROTECTION_WORD_BITS[protection]
+    except KeyError:
+        raise EstimationError(
+            f"unknown protection mode {protection!r}; choose from "
+            f"{sorted(PROTECTION_WORD_BITS)}") from None
+    if protected_records < 0:
+        raise EstimationError(
+            f"protected records must be non-negative: {protected_records}")
+    config = ArchitectureConfiguration(bus_count=1, table_kind=kind)
+    base = estimate_lookup_point(
+        config, prefix_count, mean_lookup_steps, table_memory_bytes,
+        constraint=constraint)
+    overhead_bytes = -(-protected_records * word_bits // 8)
+    shielded = estimate_lookup_point(
+        config, prefix_count, mean_lookup_steps,
+        table_memory_bytes + overhead_bytes, constraint=constraint)
+    return {
+        "protection": protection,
+        "word_bits": word_bits,
+        "protected_records": protected_records,
+        "overhead_bytes": overhead_bytes,
+        "overhead_ratio": (overhead_bytes / table_memory_bytes
+                           if table_memory_bytes else 0.0),
+        "area_mm2": shielded.area.total_mm2,
+        "area_delta_mm2": shielded.area.total_mm2 - base.area.total_mm2,
+        "power_w": shielded.power.system_w,
+        "power_delta_w": shielded.power.system_w - base.power.system_w,
+    }
+
+
 def estimate_lookup_point(config: ArchitectureConfiguration,
                           prefix_count: int,
                           mean_lookup_steps: float,

@@ -27,6 +27,16 @@ from repro.faults.datapath import (
     DatapathFaultInjector,
 )
 from repro.faults.flaps import FlapEvent, FlapSchedule
+from repro.faults.memory import (
+    ENTRY_BITS,
+    ENTRY_BYTES,
+    MEMORY_SITES,
+    MemoryFault,
+    MemoryFaultInjector,
+    corrupt_entry,
+    pack_entry,
+    unpack_entry_raw,
+)
 from repro.faults.model import FaultModel, FaultStatistics
 from repro.faults.process import (
     ChaosEvaluatorFactory,
@@ -46,6 +56,9 @@ __all__ = [
     "ControlPlaneAssault", "control_plane_drops",
     "FAULT_SITES", "DatapathFault", "DatapathFaultInjector",
     "FlapEvent", "FlapSchedule",
+    "ENTRY_BITS", "ENTRY_BYTES", "MEMORY_SITES",
+    "MemoryFault", "MemoryFaultInjector",
+    "corrupt_entry", "pack_entry", "unpack_entry_raw",
     "FaultModel", "FaultStatistics",
     "ChaosEvaluatorFactory", "corrupt_file", "truncate_file",
     "ChaosScenario", "ResilienceReport", "advertised_prefixes",

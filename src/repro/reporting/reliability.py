@@ -46,3 +46,41 @@ def render_vulnerability_table(result) -> str:
               + ", ".join(f"{outcome} {count}"
                           for outcome, count in sorted(totals.items())))
     return table + "\n" + footer
+
+
+def render_memory_vulnerability_table(result) -> str:
+    """Text artifact for one :class:`~repro.dse.sdc.MemorySweepResult`.
+
+    One row per (table kind, protection mode) cell: outcome histogram,
+    the derived SDC rate and detection coverage, and the Table-1-style
+    cost of carrying the protection words (extra table bytes, area and
+    power deltas).
+    """
+    rows: List[List[object]] = []
+    for row in result.rows:
+        outcomes = row["outcomes"]
+        cost = row["protection_cost"] or {}
+        rows.append([
+            row["kind"], row["protection"],
+            row["trials"] + row["failed"],
+            outcomes["masked"], outcomes["detected"], outcomes["sdc"],
+            outcomes["crash"], outcomes["hang"],
+            _pct(row["sdc_rate"]),
+            _pct(row["detection_coverage"]),
+            cost.get("overhead_bytes", 0),
+            f"{cost.get('area_delta_mm2', 0.0):+.3f}",
+            f"{cost.get('power_delta_w', 0.0):+.3f}",
+        ])
+    table = render_rows(
+        ["Table", "Protection", "Trials", "Masked", "Detected", "SDC",
+         "Crash", "Hang", "SDC%", "Coverage%", "OverheadB",
+         "dArea_mm2", "dPower_W"], rows)
+    totals = result.outcome_totals
+    trials = sum(totals.values())
+    footer = (f"{trials} state-flip trials over {len(result.rows)} "
+              f"(kind, protection) cells, "
+              f"{result.prefix_count} prefixes, {result.lookups} lookups, "
+              f"flips {result.flips}, seed {result.seed}: "
+              + ", ".join(f"{outcome} {count}"
+                          for outcome, count in sorted(totals.items())))
+    return table + "\n" + footer

@@ -7,6 +7,7 @@ from repro.router.network import (
     Network,
     line_topology,
     ring_topology,
+    seed_fib_routes,
 )
 from repro.router.ripng_engine import RipngEngine, RipngRoute
 from repro.router.router import Ipv6Router, RouterStatistics
@@ -14,6 +15,7 @@ from repro.router.router import Ipv6Router, RouterStatistics
 __all__ = [
     "LineCard",
     "ConvergenceReport", "Link", "Network", "line_topology", "ring_topology",
+    "seed_fib_routes",
     "RipngEngine", "RipngRoute",
     "Ipv6Router", "RouterStatistics",
 ]

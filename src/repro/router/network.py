@@ -352,7 +352,8 @@ class Network:
 
 
 def line_topology(count: int, table_kind: str = "balanced-tree",
-                  step_seconds: float = 1.0) -> Network:
+                  step_seconds: float = 1.0,
+                  table_capacity: int = 100) -> Network:
     """R0 -- R1 -- ... -- R(n-1), each with two interfaces."""
     if count < 2:
         raise ReproError("line topology needs at least two routers")
@@ -363,19 +364,22 @@ def line_topology(count: int, table_kind: str = "balanced-tree",
             Ipv6Address.parse(f"2001:db8:{i:x}:2::1"),
         ]
         network.add_router(Ipv6Router(f"r{i}", addresses,
-                                      table_kind=table_kind))
+                                      table_kind=table_kind,
+                                      table_capacity=table_capacity))
     for i in range(count - 1):
         network.connect((f"r{i}", 1), (f"r{i + 1}", 0))
     return network
 
 
 def ring_topology(count: int, table_kind: str = "balanced-tree",
-                  step_seconds: float = 1.0) -> Network:
+                  step_seconds: float = 1.0,
+                  table_capacity: int = 100) -> Network:
     """A cycle of *count* routers (redundant paths, tests split horizon)."""
     if count < 3:
         raise ReproError("ring topology needs at least three routers")
     network = line_topology(count, table_kind=table_kind,
-                            step_seconds=step_seconds)
+                            step_seconds=step_seconds,
+                            table_capacity=table_capacity)
     # close the ring with dedicated third interfaces on the two line ends
     # to avoid clashing with line links
     first = network.routers["r0"]
@@ -386,3 +390,32 @@ def ring_topology(count: int, table_kind: str = "balanced-tree",
         Ipv6Address.parse(f"2001:db8:ff{last.name[1:]}::1"))
     network.connect(("r0", first_closing), (f"r{count - 1}", last_closing))
     return network
+
+
+def seed_fib_routes(network: Network, prefix_count: int,
+                    seed: int = 2026) -> int:
+    """Originate a synthesized BGP-shaped FIB across a network's routers.
+
+    The :func:`repro.workload.fib.synthesize_fib` routes are distributed
+    round-robin over the RIPng routers (sorted by name) as static
+    originations, so convergence and chaos scenarios exercise realistic
+    provider/customer prefix structure instead of a handful of
+    hand-written /64s. Returns the number of routes originated.
+
+    Routers must be sized to learn each other's routes: build the
+    topology with ``table_capacity >= prefix_count + 4 * routers``.
+    """
+    from repro.workload.fib import synthesize_fib
+
+    speakers = [network.routers[name] for name in sorted(network.routers)
+                if network.routers[name].ripng is not None]
+    if not speakers:
+        raise ReproError("no RIPng routers to originate the FIB from")
+    routes = synthesize_fib(prefix_count, seed=seed)
+    for index, entry in enumerate(routes):
+        router = speakers[index % len(speakers)]
+        router.ripng.originate(
+            entry.prefix,
+            interface=entry.interface % router.ripng.interface_count,
+            metric=entry.metric)
+    return len(routes)

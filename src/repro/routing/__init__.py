@@ -21,7 +21,19 @@ from repro.routing.base import DEFAULT_CAPACITY, RoutingTable, TableStatistics
 from repro.routing.bloom import BloomRoutingTable
 from repro.routing.cam import CAM_SEARCH_TIME_NS, CamPhysicalModel, CamRoutingTable
 from repro.routing.entry import LookupResult, RouteEntry
+from repro.routing.memimage import (
+    ENTRY_BITS,
+    ENTRY_BYTES,
+    corrupt_entry,
+    pack_entry,
+    unpack_entry_raw,
+)
 from repro.routing.multibit_trie import MultibitTrieRoutingTable
+from repro.routing.protected import (
+    PROTECTION_MODES,
+    CorruptionEvent,
+    ProtectedRoutingTable,
+)
 from repro.routing.sequential import SequentialRoutingTable
 
 TABLE_KINDS = {
@@ -50,4 +62,7 @@ __all__ = [
     "CamPhysicalModel", "CAM_SEARCH_TIME_NS",
     "RoutingTable", "TableStatistics", "DEFAULT_CAPACITY",
     "LookupResult", "RouteEntry", "TABLE_KINDS", "make_table",
+    "ENTRY_BITS", "ENTRY_BYTES",
+    "corrupt_entry", "pack_entry", "unpack_entry_raw",
+    "PROTECTION_MODES", "CorruptionEvent", "ProtectedRoutingTable",
 ]

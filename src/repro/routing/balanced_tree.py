@@ -42,6 +42,13 @@ from repro.errors import RoutingTableError
 from repro.ipv6.address import Ipv6Address, Ipv6Prefix
 from repro.routing.base import DEFAULT_CAPACITY, RoutingTable
 from repro.routing.entry import RouteEntry
+from repro.routing.memimage import (
+    ENTRY_BITS,
+    corrupt_entry,
+    flip_bit,
+    pack_entry,
+    raw_prefix,
+)
 
 _ADDRESS_SENTINEL_LENGTH = 129
 
@@ -137,8 +144,16 @@ class BalancedTreeRoutingTable(RoutingTable):
             else:
                 node = node.left
         # Walk the enclosing chain for the first prefix containing address.
+        # Chain length is bounded by the node count: a longer walk means
+        # a corrupted enclosing pointer closed a cycle — fail stop.
         candidate: Optional[Ipv6Prefix] = floor.entry.prefix if floor else None
+        chain_budget = len(self._nodes) + 1
         while candidate is not None:
+            chain_budget -= 1
+            if chain_budget < 0:
+                raise RoutingTableError(
+                    "balanced-tree enclosing chain does not terminate "
+                    "(corrupted enclosing pointer)")
             steps += 1
             chain_node = self._nodes[candidate]
             if chain_node.entry.prefix.contains(address):
@@ -350,6 +365,77 @@ class BalancedTreeRoutingTable(RoutingTable):
 
         visit(self._root)
         return iter(out)
+
+    # -- memory-state corruption seam -------------------------------------------
+    #
+    # One record per tree node, in-order (= key order, deterministic
+    # across processes). The 56-byte image is the 38-byte entry payload
+    # followed by the 18-byte enclosing pointer (present flag 1 +
+    # network 16 + length 1). Corrupting the payload leaves the node
+    # filed in ``_nodes`` under its *old* prefix — exactly the
+    # key-desynchronization real SRAM corruption causes; corrupting the
+    # pointer damages only the LPM chain.
+
+    def memory_sites(self) -> Tuple[str, ...]:
+        return ("tree-node",)
+
+    def _ordered_nodes(self) -> List[_Node]:
+        out: List[_Node] = []
+
+        def visit(node: Optional[_Node]) -> None:
+            if node is None:
+                return
+            visit(node.left)
+            out.append(node)
+            visit(node.right)
+
+        visit(self._root)
+        return out
+
+    @staticmethod
+    def _pack_enclosing(enclosing: Optional[Ipv6Prefix]) -> bytes:
+        if enclosing is None:
+            return bytes(18)
+        return (b"\x01" + enclosing.network.value.to_bytes(16, "big")
+                + bytes([enclosing.length & 0xFF]))
+
+    def memory_record_count(self, site: str) -> int:
+        if site != "tree-node":
+            return super().memory_record_count(site)
+        return len(self._nodes)
+
+    def memory_record(self, site: str, index: int) -> bytes:
+        if site != "tree-node":
+            return super().memory_record(site, index)
+        nodes = self._ordered_nodes()
+        self._check_memory_index(site, index, len(nodes))
+        node = nodes[index]
+        return pack_entry(node.entry) + self._pack_enclosing(node.enclosing)
+
+    def memory_records(self, site: str) -> List[bytes]:
+        if site != "tree-node":
+            return super().memory_records(site)
+        return [pack_entry(node.entry) + self._pack_enclosing(node.enclosing)
+                for node in self._ordered_nodes()]
+
+    def corrupt_memory(self, site: str, index: int, bit: int) -> str:
+        if site != "tree-node":
+            return super().corrupt_memory(site, index, bit)
+        nodes = self._ordered_nodes()
+        self._check_memory_index(site, index, len(nodes))
+        node = nodes[index]
+        before = node.entry.prefix
+        if bit < ENTRY_BITS:
+            node.entry = corrupt_entry(node.entry, bit)
+            return f"tree-node[{index}] payload bit {bit} ({before})"
+        pointer = flip_bit(self._pack_enclosing(node.enclosing),
+                           bit - ENTRY_BITS)
+        if pointer[0]:
+            node.enclosing = raw_prefix(
+                int.from_bytes(pointer[1:17], "big"), pointer[17])
+        else:
+            node.enclosing = None
+        return f"tree-node[{index}] enclosing bit {bit - ENTRY_BITS} ({before})"
 
     # -- introspection (tests assert the AVL invariant) --------------------------
 

@@ -123,8 +123,22 @@ class RoutingTable(ABC):
         self._publish_update(steps, op="remove")
 
     def lookup(self, address: Ipv6Address) -> Optional[LookupResult]:
-        """Longest-prefix match for *address*; None when no route exists."""
-        entry, steps = self._lookup(address)
+        """Longest-prefix match for *address*; None when no route exists.
+
+        Fail-stop contract: a lookup either answers or raises
+        :class:`~repro.errors.RoutingTableError` — never ``KeyError``,
+        ``IndexError``, or any other structural exception. A corrupted
+        structure (see :mod:`repro.faults.memory`) must surface as a
+        *detectable* routing failure, not an arbitrary crash.
+        """
+        try:
+            entry, steps = self._lookup(address)
+        except RoutingTableError:
+            raise
+        except Exception as exc:
+            raise RoutingTableError(
+                f"corrupt {self.kind} state during lookup: "
+                f"{type(exc).__name__}: {exc}") from exc
         return self._account_lookup(entry, steps)
 
     def lookup_batch(
@@ -137,9 +151,20 @@ class RoutingTable(ABC):
         implementations may override :meth:`_lookup_batch` to amortize
         per-lookup overhead (the sequential table answers a batch from
         per-length hash maps instead of rescanning the array per address).
+        Shares the fail-stop contract of :meth:`lookup`: structural
+        exceptions become :class:`~repro.errors.RoutingTableError` and no
+        partial results are accounted.
         """
+        try:
+            pairs = list(self._lookup_batch(addresses))
+        except RoutingTableError:
+            raise
+        except Exception as exc:
+            raise RoutingTableError(
+                f"corrupt {self.kind} state during batch lookup: "
+                f"{type(exc).__name__}: {exc}") from exc
         return [self._account_lookup(entry, steps)
-                for entry, steps in self._lookup_batch(addresses)]
+                for entry, steps in pairs]
 
     def _lookup_batch(
             self, addresses: Sequence[Ipv6Address]
@@ -238,6 +263,56 @@ class RoutingTable(ABC):
                 "routing_update_steps_total",
                 "elements touched by table updates", ("kind",)
             ).inc(steps, kind=self.kind)
+
+    # -- memory-state introspection/corruption seam ---------------------------
+    #
+    # The table-state fault injector (repro.faults.memory) and the
+    # integrity wrapper (repro.routing.protected) see every structure
+    # through these four methods. A site is one physical memory bank
+    # (entry array, node pool, match lines, counter vector); its records
+    # enumerate deterministically so that seeded strikes and scrub
+    # baselines agree across processes.
+
+    def memory_sites(self) -> Tuple[str, ...]:
+        """Physical state banks this structure exposes for injection."""
+        return ()
+
+    def memory_record_count(self, site: str) -> int:
+        """Number of addressable records at *site*."""
+        raise RoutingTableError(
+            f"{self.kind} table has no memory site {site!r}")
+
+    def memory_record(self, site: str, index: int) -> bytes:
+        """The raw memory image of record *index* at *site*."""
+        raise RoutingTableError(
+            f"{self.kind} table has no memory site {site!r}")
+
+    def memory_records(self, site: str) -> List[bytes]:
+        """All records at *site*, in enumeration order.
+
+        Semantically ``[self.memory_record(site, i) for i in range(
+        self.memory_record_count(site))]``; implementations whose
+        per-record access re-walks the structure override this with a
+        single traversal (the integrity scrub reads every record).
+        """
+        return [self.memory_record(site, index)
+                for index in range(self.memory_record_count(site))]
+
+    def corrupt_memory(self, site: str, index: int, bit: int) -> str:
+        """Flip *bit* of record *index* at *site* in the live structure.
+
+        Returns a short human-readable description of what was damaged
+        (kept in the fault record for post-mortem). Must bypass all
+        software validation — this models an SEU, not an API call.
+        """
+        raise RoutingTableError(
+            f"{self.kind} table has no memory site {site!r}")
+
+    def _check_memory_index(self, site: str, index: int, count: int) -> None:
+        if not 0 <= index < count:
+            raise RoutingTableError(
+                f"{self.kind} {site} index {index} out of range "
+                f"[0, {count})")
 
     def __contains__(self, prefix: Ipv6Prefix) -> bool:
         return self.get(prefix) is not None

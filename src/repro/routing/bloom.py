@@ -36,6 +36,7 @@ from repro.errors import RoutingTableError
 from repro.ipv6.address import Ipv6Address, Ipv6Prefix, prefix_mask
 from repro.routing.base import DEFAULT_CAPACITY, RoutingTable
 from repro.routing.entry import RouteEntry
+from repro.routing.memimage import corrupt_entry, pack_entry
 
 DEFAULT_SLOTS_PER_ENTRY = 16
 """Counting-filter slots per stored prefix (~1e-4 false-positive rate
@@ -182,7 +183,11 @@ class BloomRoutingTable(RoutingTable):
         value = address.value
         steps = 1  # the parallel Bloom-bank probe counts once
         for length in self._lengths_desc:
-            cls = self._classes[length]
+            # .get, not []: a corrupted probe-order list must degrade to
+            # skipping the phantom length, not crash with a KeyError
+            cls = self._classes.get(length)
+            if cls is None:
+                continue
             masked = value & cls.mask
             if not cls.filter_positive(masked, self.hash_count):
                 continue
@@ -243,6 +248,74 @@ class BloomRoutingTable(RoutingTable):
         counters (the per-length hash tables live off-chip, like the
         CAM option's SRAM)."""
         return sum((cls.slots + 1) // 2 for cls in self._classes.values())
+
+    # -- memory-state corruption seam ------------------------------------------
+    #
+    # Two sites:
+    #
+    # * ``bloom-filter`` — one record per length class (lengths
+    #   descending): the class's whole counter vector. Flipping a bit
+    #   that zeroes a counter a stored prefix hashes through creates a
+    #   *false negative* — the filter now vetoes the off-chip probe and
+    #   the lookup silently misses to a shorter prefix (the signature
+    #   Bloom-bank SDC); flips that only raise counters merely cost
+    #   false-positive steps.
+    # * ``bloom-bucket`` — one record per stored entry (lengths
+    #   descending, insertion order within a class): the 38-byte bucket
+    #   payload, corrupted in place under its original hash key.
+
+    def memory_sites(self) -> Tuple[str, ...]:
+        return ("bloom-filter", "bloom-bucket")
+
+    def _bucket_records(self) -> List[Tuple[_LengthClass, int]]:
+        return [(cls, value)
+                for length in self._lengths_desc
+                if (cls := self._classes.get(length)) is not None
+                for value in cls.entries]
+
+    def memory_record_count(self, site: str) -> int:
+        if site == "bloom-filter":
+            return len(self._lengths_desc)
+        if site == "bloom-bucket":
+            return len(self._bucket_records())
+        return super().memory_record_count(site)
+
+    def memory_record(self, site: str, index: int) -> bytes:
+        if site == "bloom-filter":
+            self._check_memory_index(site, index, len(self._lengths_desc))
+            cls = self._classes[self._lengths_desc[index]]
+            return bytes(cls.counters)
+        if site == "bloom-bucket":
+            records = self._bucket_records()
+            self._check_memory_index(site, index, len(records))
+            cls, value = records[index]
+            return pack_entry(cls.entries[value])
+        return super().memory_record(site, index)
+
+    def memory_records(self, site: str) -> List[bytes]:
+        if site == "bloom-filter":
+            return [bytes(self._classes[length].counters)
+                    for length in self._lengths_desc]
+        if site == "bloom-bucket":
+            return [pack_entry(cls.entries[value])
+                    for cls, value in self._bucket_records()]
+        return super().memory_records(site)
+
+    def corrupt_memory(self, site: str, index: int, bit: int) -> str:
+        if site == "bloom-filter":
+            self._check_memory_index(site, index, len(self._lengths_desc))
+            cls = self._classes[self._lengths_desc[index]]
+            cls.counters[bit // 8] ^= 1 << (bit % 8)
+            return (f"bloom-filter[{index}] /{cls.length} "
+                    f"counter {bit // 8} bit {bit % 8}")
+        if site == "bloom-bucket":
+            records = self._bucket_records()
+            self._check_memory_index(site, index, len(records))
+            cls, value = records[index]
+            before = cls.entries[value].prefix
+            cls.entries[value] = corrupt_entry(cls.entries[value], bit)
+            return f"bloom-bucket[{index}] bit {bit} ({before})"
+        return super().corrupt_memory(site, index, bit)
 
     def filter_info(self) -> "Dict[int, Tuple[int, int, int]]":
         """length -> (entries, filter slots, set counters) for tests and

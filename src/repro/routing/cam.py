@@ -25,6 +25,7 @@ from repro.ipv6.address import Ipv6Address, Ipv6Prefix
 from repro.obs import get_registry
 from repro.routing.base import DEFAULT_CAPACITY, RoutingTable
 from repro.routing.entry import RouteEntry
+from repro.routing.memimage import corrupt_entry, pack_entry
 
 CAM_WIDTH_BITS = 136
 """128 address bits + 8 tag bits, as in the paper."""
@@ -198,6 +199,46 @@ class CamRoutingTable(RoutingTable):
 
     def __iter__(self) -> Iterator[RouteEntry]:
         return iter([line.entry for line in self._lines])
+
+    # -- memory-state corruption seam ------------------------------------------
+    #
+    # One record per CAM line, priority order. The 70-byte image is the
+    # ternary match pair (value 16 + mask 16) followed by the 38-byte
+    # SRAM entry record. Flipping a match bit silently re-steers the
+    # priority encoder (classic TCAM upset); flipping an SRAM bit
+    # corrupts the associated next-hop record.
+
+    def memory_sites(self) -> Tuple[str, ...]:
+        return ("cam-row",)
+
+    def memory_record_count(self, site: str) -> int:
+        if site != "cam-row":
+            return super().memory_record_count(site)
+        return len(self._lines)
+
+    def memory_record(self, site: str, index: int) -> bytes:
+        if site != "cam-row":
+            return super().memory_record(site, index)
+        self._check_memory_index(site, index, len(self._lines))
+        line = self._lines[index]
+        return (line.value.to_bytes(16, "big")
+                + line.mask.to_bytes(16, "big")
+                + pack_entry(line.entry))
+
+    def corrupt_memory(self, site: str, index: int, bit: int) -> str:
+        if site != "cam-row":
+            return super().corrupt_memory(site, index, bit)
+        self._check_memory_index(site, index, len(self._lines))
+        line = self._lines[index]
+        prefix = line.entry.prefix
+        if bit < 128:
+            line.value ^= 1 << (127 - bit)
+            return f"cam-row[{index}] value bit {bit} ({prefix})"
+        if bit < 256:
+            line.mask ^= 1 << (255 - bit)
+            return f"cam-row[{index}] mask bit {bit - 128} ({prefix})"
+        line.entry = corrupt_entry(line.entry, bit - 256)
+        return f"cam-row[{index}] sram bit {bit - 256} ({prefix})"
 
     def priority_order(self) -> List[Ipv6Prefix]:
         """Line order, for tests asserting the TCAM priority discipline."""

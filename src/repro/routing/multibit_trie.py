@@ -39,6 +39,7 @@ from repro.errors import RoutingTableError
 from repro.ipv6.address import Ipv6Address, Ipv6Prefix
 from repro.routing.base import DEFAULT_CAPACITY, RoutingTable
 from repro.routing.entry import RouteEntry
+from repro.routing.memimage import corrupt_entry, pack_entry
 
 ADDRESS_BITS = 128
 
@@ -171,7 +172,14 @@ class MultibitTrieRoutingTable(RoutingTable):
         best: Optional[RouteEntry] = None
         steps = 0
         depth = 0
+        # Descent depth is bounded by the pipeline: exceeding it means a
+        # corrupted child page steered the walk off the tree — fail stop.
+        depth_budget = self.max_depth()
         while True:
+            if depth > depth_budget:
+                raise RoutingTableError(
+                    "multibit-trie descent exceeds the pipeline depth "
+                    "(corrupted child page)")
             steps += 1  # one memory access per level
             chunk = self._chunk(value, depth)
             slot = node.slots.get(chunk)
@@ -265,6 +273,101 @@ class MultibitTrieRoutingTable(RoutingTable):
 
         visit(self._root)
         return total
+
+    # -- memory-state corruption seam ------------------------------------------
+    #
+    # Two sites, both enumerated in pre-order DFS with sorted chunk keys
+    # (deterministic across processes):
+    #
+    # * ``trie-node`` — one record per node *with children*: its sparse
+    #   child-pointer page, packed as the sorted 2-byte chunk keys.
+    #   Flipping a key bit re-files the child under the wrong chunk —
+    #   mis-steering descents, possibly overwriting a sibling pointer
+    #   (silent subtree loss), possibly parking the subtree at an
+    #   unreachable chunk.
+    # * ``trie-slot`` — one record per expanded slot: the 2-byte chunk
+    #   tag plus the 38-byte leaf-pushed entry. Flipping a tag bit
+    #   re-keys the slot; flipping an entry bit corrupts the stored
+    #   route in place.
+
+    def memory_sites(self) -> Tuple[str, ...]:
+        return ("trie-node", "trie-slot")
+
+    def _dfs_nodes(self) -> List[_TrieNode]:
+        out: List[_TrieNode] = []
+
+        def visit(node: _TrieNode) -> None:
+            out.append(node)
+            for chunk in sorted(node.children):
+                visit(node.children[chunk])
+
+        visit(self._root)
+        return out
+
+    def _pointer_pages(self) -> List[_TrieNode]:
+        return [node for node in self._dfs_nodes() if node.children]
+
+    def _slot_records(self) -> List[Tuple[_TrieNode, int]]:
+        return [(node, chunk) for node in self._dfs_nodes()
+                for chunk in sorted(node.slots)]
+
+    def memory_record_count(self, site: str) -> int:
+        if site == "trie-node":
+            return len(self._pointer_pages())
+        if site == "trie-slot":
+            return len(self._slot_records())
+        return super().memory_record_count(site)
+
+    def memory_record(self, site: str, index: int) -> bytes:
+        if site == "trie-node":
+            pages = self._pointer_pages()
+            self._check_memory_index(site, index, len(pages))
+            return b"".join(chunk.to_bytes(2, "big")
+                            for chunk in sorted(pages[index].children))
+        if site == "trie-slot":
+            records = self._slot_records()
+            self._check_memory_index(site, index, len(records))
+            node, chunk = records[index]
+            return chunk.to_bytes(2, "big") + pack_entry(node.slots[chunk])
+        return super().memory_record(site, index)
+
+    def memory_records(self, site: str) -> List[bytes]:
+        if site == "trie-node":
+            return [b"".join(chunk.to_bytes(2, "big")
+                             for chunk in sorted(node.children))
+                    for node in self._pointer_pages()]
+        if site == "trie-slot":
+            return [chunk.to_bytes(2, "big") + pack_entry(node.slots[chunk])
+                    for node, chunk in self._slot_records()]
+        return super().memory_records(site)
+
+    def corrupt_memory(self, site: str, index: int, bit: int) -> str:
+        if site == "trie-node":
+            pages = self._pointer_pages()
+            self._check_memory_index(site, index, len(pages))
+            node = pages[index]
+            keys = sorted(node.children)
+            old_chunk = keys[bit // 16]
+            new_chunk = old_chunk ^ (1 << (15 - bit % 16))
+            child = node.children.pop(old_chunk)
+            lost = new_chunk in node.children
+            node.children[new_chunk] = child
+            return (f"trie-node[{index}] child {old_chunk}->{new_chunk}"
+                    + (" overwriting sibling" if lost else ""))
+        if site == "trie-slot":
+            records = self._slot_records()
+            self._check_memory_index(site, index, len(records))
+            node, chunk = records[index]
+            if bit < 16:
+                new_chunk = chunk ^ (1 << (15 - bit))
+                entry = node.slots.pop(chunk)
+                lost = new_chunk in node.slots
+                node.slots[new_chunk] = entry
+                return (f"trie-slot[{index}] tag {chunk}->{new_chunk}"
+                        + (" overwriting slot" if lost else ""))
+            node.slots[chunk] = corrupt_entry(node.slots[chunk], bit - 16)
+            return f"trie-slot[{index}] entry bit {bit - 16} (chunk {chunk})"
+        return super().corrupt_memory(site, index, bit)
 
     def check_invariants(self) -> None:
         """Raise if the trie's structural invariants are violated:

@@ -17,6 +17,7 @@ from repro.errors import RoutingTableError
 from repro.ipv6.address import Ipv6Address, Ipv6Prefix, prefix_mask
 from repro.routing.base import DEFAULT_CAPACITY, RoutingTable
 from repro.routing.entry import RouteEntry
+from repro.routing.memimage import corrupt_entry, pack_entry
 
 
 class SequentialRoutingTable(RoutingTable):
@@ -133,6 +134,30 @@ class SequentialRoutingTable(RoutingTable):
 
     def __iter__(self) -> Iterator[RouteEntry]:
         return iter(list(self._entries))
+
+    # -- memory-state corruption seam ------------------------------------------
+
+    def memory_sites(self) -> Tuple[str, ...]:
+        return ("entry",)
+
+    def memory_record_count(self, site: str) -> int:
+        if site != "entry":
+            return super().memory_record_count(site)
+        return len(self._entries)
+
+    def memory_record(self, site: str, index: int) -> bytes:
+        if site != "entry":
+            return super().memory_record(site, index)
+        self._check_memory_index(site, index, len(self._entries))
+        return pack_entry(self._entries[index])
+
+    def corrupt_memory(self, site: str, index: int, bit: int) -> str:
+        if site != "entry":
+            return super().corrupt_memory(site, index, bit)
+        self._check_memory_index(site, index, len(self._entries))
+        before = self._entries[index]
+        self._entries[index] = corrupt_entry(before, bit)
+        return f"entry[{index}] bit {bit} ({before.prefix})"
 
     # -- memory image (for the TACO data memory) ------------------------------
 

@@ -23,6 +23,7 @@ from repro.verify.backends import (
 from repro.verify.oracle import (
     HANG_BUDGET_MULTIPLIER,
     MIN_HANG_BUDGET,
+    MIN_MEMORY_STEP_BUDGET,
     OUTCOME_CRASH,
     OUTCOME_DETECTED,
     OUTCOME_HANG,
@@ -30,14 +31,15 @@ from repro.verify.oracle import (
     OUTCOME_SDC,
     OUTCOMES,
     DifferentialOracle,
+    MemoryDifferentialOracle,
     TrialOutcome,
 )
 
 __all__ = [
-    "HANG_BUDGET_MULTIPLIER", "MIN_HANG_BUDGET",
+    "HANG_BUDGET_MULTIPLIER", "MIN_HANG_BUDGET", "MIN_MEMORY_STEP_BUDGET",
     "OUTCOME_CRASH", "OUTCOME_DETECTED", "OUTCOME_HANG",
     "OUTCOME_MASKED", "OUTCOME_SDC", "OUTCOMES",
-    "DifferentialOracle", "TrialOutcome",
+    "DifferentialOracle", "MemoryDifferentialOracle", "TrialOutcome",
     "BackendComparison", "BackendEquivalenceReport", "REFERENCE_BACKEND",
     "diff_signatures", "run_signature", "signature_bytes", "table1_grid",
     "verify_backend",

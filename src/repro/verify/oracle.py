@@ -34,12 +34,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.dse.config import ArchitectureConfiguration
 from repro.errors import CycleBudgetError, ReproError
 from repro.faults.datapath import DatapathFaultInjector
+from repro.faults.memory import MemoryFaultInjector
+from repro.ipv6.address import Ipv6Address
 from repro.programs.runner import (
     ForwardingRunResult,
     RunOptions,
     run_forwarding,
 )
+from repro.routing import make_table
 from repro.routing.entry import RouteEntry
+from repro.routing.protected import ProtectedRoutingTable
 
 OUTCOME_MASKED = "masked"
 OUTCOME_DETECTED = "detected"
@@ -270,5 +274,174 @@ class DifferentialOracle:
             new_hazards=new_hazards or {},
             cycles=cycles,
             diagnosis=diagnosis,
+            error_type=error_type,
+        )
+
+
+#: floor for the per-trial lookup-step budget of the memory oracle
+MIN_MEMORY_STEP_BUDGET = 10_000
+
+
+class MemoryDifferentialOracle:
+    """Classifies table-state injection trials against a clean table.
+
+    The same five-way vocabulary as :class:`DifferentialOracle`, but
+    the system under test is a (possibly protected) routing structure
+    serving a lookup workload rather than the TTA datapath:
+
+    * ``masked``   — every lookup answered exactly as the clean table;
+    * ``detected`` — the protection layer reported the corruption:
+      a live detection during lookups (hit-word mismatch, intercepted
+      false miss, fail-stop converted to degraded service) or a scrub
+      finding from :meth:`ProtectedRoutingTable.verify_integrity`;
+    * ``sdc``      — no detection, but at least one lookup silently
+      answered differently: the FIB lied and nothing noticed;
+    * ``crash``    — a lookup raised out of the table (fail-stop,
+      reachable only on unprotected tables — the wrapper converts
+      these to detections);
+    * ``hang``     — the run blew a lookup-step budget sized from the
+      clean run (structure bounds make this a backstop class).
+
+    One oracle is bound to one ``(kind, protection, routes,
+    addresses)`` cell; the golden signatures are computed once on a
+    clean build, then every trial corrupts a fresh build.
+    """
+
+    def __init__(self, kind: str, protection: str,
+                 routes: Sequence[RouteEntry],
+                 addresses: Sequence[Ipv6Address],
+                 capacity: Optional[int] = None):
+        self.kind = kind
+        self.protection = protection
+        self.routes = list(routes)
+        self.addresses = list(addresses)
+        self.capacity = capacity if capacity is not None else (
+            len({entry.prefix for entry in self.routes}) + 8)
+        self._golden_signatures: Optional[List[Tuple[object, ...]]] = None
+        self._golden_steps = 0
+        #: measured on the clean golden build (overhead-pricing inputs)
+        self.table_memory_bytes = 0
+        self.protected_records = 0
+
+    def build(self) -> ProtectedRoutingTable:
+        """A fresh protected table loaded with the cell's FIB."""
+        inner = make_table(self.kind, capacity=self.capacity)
+        table = ProtectedRoutingTable(inner, protection=self.protection)
+        table.load(self.routes)
+        table.checkpoint()
+        return table
+
+    @staticmethod
+    def _signature(result) -> Tuple[object, ...]:
+        """What must match for a lookup to count as identical: the
+        forwarding decision (steps are a cost, not a semantic)."""
+        if result is None:
+            return ("miss",)
+        entry = result.entry
+        return ("hit", entry.next_hop.value, entry.interface,
+                entry.prefix.network.value, entry.prefix.length)
+
+    @property
+    def golden(self) -> List[Tuple[object, ...]]:
+        """Per-address signatures of the clean table (computed once)."""
+        if self._golden_signatures is None:
+            table = self.build()
+            start = table.stats.total_lookup_steps
+            self._golden_signatures = [
+                self._signature(table.lookup(address))
+                for address in self.addresses]
+            self._golden_steps = table.stats.total_lookup_steps - start
+            self.table_memory_bytes = table.table_memory_bytes()
+            self.protected_records = table.protected_records()
+        return self._golden_signatures
+
+    @property
+    def mean_lookup_steps(self) -> float:
+        _ = self.golden
+        return (self._golden_steps / len(self.addresses)
+                if self.addresses else 0.0)
+
+    @property
+    def step_budget(self) -> int:
+        """Lookup-step budget per trial. Degraded (journal-served)
+        lookups legitimately cost ``len(routes)`` steps each, so the
+        budget provisions for a fully degraded run; only a true
+        runaway exceeds it."""
+        _ = self.golden
+        degraded_worst = 2 * len(self.addresses) * (len(self.routes) + 16)
+        return max(self._golden_steps * HANG_BUDGET_MULTIPLIER
+                   + degraded_worst, MIN_MEMORY_STEP_BUDGET)
+
+    def classify(self, seed: int, site: str, flips: int = 1) -> TrialOutcome:
+        """Corrupt a fresh table and classify the outcome.
+
+        Deterministic: the same ``(cell, seed, site, flips)`` always
+        produces the identical outcome record.
+        """
+        golden = self.golden
+        table = self.build()
+        injector = MemoryFaultInjector(seed=seed, sites=(site,))
+        faults = injector.inject(table, flips=flips)
+        detected_before = table.detected_corruptions
+        budget = self.step_budget
+        start_steps = table.stats.total_lookup_steps
+        signatures: List[Tuple[object, ...]] = []
+        try:
+            for address in self.addresses:
+                signatures.append(self._signature(table.lookup(address)))
+                if table.stats.total_lookup_steps - start_steps > budget:
+                    return self._outcome(
+                        injector, OUTCOME_HANG,
+                        f"lookup-step budget of {budget} exhausted "
+                        f"after {len(signatures)} lookups",
+                        steps=table.stats.total_lookup_steps - start_steps)
+        except ReproError as exc:
+            return self._outcome(
+                injector, OUTCOME_CRASH, str(exc),
+                error_type=type(exc).__name__)
+        except Exception as exc:  # noqa: BLE001 — any escape is a crash
+            return self._outcome(
+                injector, OUTCOME_CRASH, str(exc),
+                error_type=type(exc).__name__)
+        steps = table.stats.total_lookup_steps - start_steps
+        live = table.detected_corruptions - detected_before
+        scrub = table.verify_integrity()
+        if live or scrub:
+            parts = []
+            if live:
+                parts.append(f"{live} live detection(s) "
+                             f"({table.degraded_lookups} degraded lookups)")
+            if scrub:
+                parts.append(f"scrub flagged {len(scrub)} record(s) at "
+                             + ", ".join(sorted({e.site for e in scrub})))
+            return self._outcome(
+                injector, OUTCOME_DETECTED, "; ".join(parts), steps=steps,
+                new_hazards={"live_detections": live,
+                             "scrub_events": len(scrub)})
+        diffs = sum(1 for got, want in zip(signatures, golden)
+                    if got != want)
+        if diffs:
+            return self._outcome(
+                injector, OUTCOME_SDC,
+                f"silent divergence on {diffs}/{len(golden)} lookups",
+                steps=steps)
+        detail = ("identical to the clean table"
+                  if faults else "no eligible record to strike")
+        return self._outcome(injector, OUTCOME_MASKED, detail, steps=steps)
+
+    def _outcome(self, injector: MemoryFaultInjector, outcome: str,
+                 detail: str, *, steps: Optional[int] = None,
+                 new_hazards: Optional[Dict[str, int]] = None,
+                 error_type: Optional[str] = None) -> TrialOutcome:
+        return TrialOutcome(
+            outcome=outcome,
+            detail=detail,
+            faults_injected=injector.flips_applied,
+            transports_observed=0,
+            faults_by_site={site: count for site, count
+                            in injector.flips_by_site.items() if count},
+            faults=[fault.to_dict() for fault in injector.faults],
+            new_hazards=new_hazards or {},
+            cycles=steps,
             error_type=error_type,
         )

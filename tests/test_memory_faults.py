@@ -1,0 +1,172 @@
+"""Table-state fault injector: packing, seams, determinism, validation."""
+
+import pytest
+
+from repro.errors import FaultInjectionError, RoutingTableError
+from repro.faults.memory import (
+    ENTRY_BITS,
+    ENTRY_BYTES,
+    MEMORY_SITES,
+    MemoryFaultInjector,
+    corrupt_entry,
+    pack_entry,
+    unpack_entry_raw,
+)
+from repro.routing import TABLE_KINDS, make_table
+from repro.workload.fib import synthesize_fib
+
+ROUTES = synthesize_fib(60, seed=12)
+
+#: which memory sites each kind must expose
+EXPECTED_SITES = {
+    "sequential": ("entry",),
+    "balanced-tree": ("tree-node",),
+    "cam": ("cam-row",),
+    "multibit-trie": ("trie-node", "trie-slot"),
+    "bloom": ("bloom-filter", "bloom-bucket"),
+}
+
+
+def loaded(kind):
+    table = make_table(kind, capacity=len(ROUTES) + 8)
+    table.load(ROUTES)
+    return table
+
+
+# -- packed route records -----------------------------------------------------------
+
+
+def test_entry_packing_round_trips():
+    for entry in ROUTES:
+        image = pack_entry(entry)
+        assert len(image) == ENTRY_BYTES
+        back = unpack_entry_raw(image)
+        assert back == entry
+
+
+def test_entry_bits_matches_bytes():
+    assert ENTRY_BITS == ENTRY_BYTES * 8
+
+
+def test_unpack_rejects_wrong_length():
+    with pytest.raises(FaultInjectionError):
+        unpack_entry_raw(b"\x00" * (ENTRY_BYTES - 1))
+
+
+def test_corrupt_entry_flips_exactly_one_bit():
+    entry = ROUTES[3]
+    for bit in (0, 7, 130, ENTRY_BITS - 1):
+        damaged = corrupt_entry(entry, bit)
+        delta = [a ^ b for a, b in zip(pack_entry(entry),
+                                       pack_entry(damaged))]
+        assert sum(bin(d).count("1") for d in delta) == 1
+        # flipping the same bit again restores the original
+        assert corrupt_entry(damaged, bit) == entry
+
+
+def test_corrupt_entry_never_validates_silently():
+    """Damage to the length byte must build (silent corruption), even
+    when the resulting prefix length is semantically impossible."""
+    entry = ROUTES[3]
+    # the length byte occupies bits 128..135 (LSB-first within the
+    # byte); flipping its top bit makes length >= 128
+    damaged = corrupt_entry(entry, 16 * 8 + 7)
+    assert damaged.prefix.length == entry.prefix.length ^ 0x80
+
+
+# -- memory seams -------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kind", sorted(TABLE_KINDS))
+def test_memory_sites_and_records(kind):
+    table = loaded(kind)
+    assert table.memory_sites() == EXPECTED_SITES[kind]
+    for site in table.memory_sites():
+        count = table.memory_record_count(site)
+        assert count > 0
+        records = table.memory_records(site)
+        assert len(records) == count
+        # bulk enumeration must agree with per-index reads
+        for index in (0, count // 2, count - 1):
+            assert table.memory_record(site, index) == records[index]
+
+
+@pytest.mark.parametrize("kind", sorted(TABLE_KINDS))
+def test_unknown_site_rejected(kind):
+    table = loaded(kind)
+    with pytest.raises(RoutingTableError):
+        table.memory_record_count("no-such-site")
+    with pytest.raises(RoutingTableError):
+        table.memory_record("no-such-site", 0)
+    with pytest.raises(RoutingTableError):
+        table.corrupt_memory("no-such-site", 0, 0)
+
+
+@pytest.mark.parametrize("kind", sorted(TABLE_KINDS))
+def test_out_of_range_index_rejected(kind):
+    table = loaded(kind)
+    site = table.memory_sites()[0]
+    count = table.memory_record_count(site)
+    with pytest.raises(RoutingTableError):
+        table.memory_record(site, count)
+    with pytest.raises(RoutingTableError):
+        table.memory_record(site, -1)
+
+
+@pytest.mark.parametrize("kind", sorted(TABLE_KINDS))
+def test_corrupt_memory_changes_the_record_image(kind):
+    table = loaded(kind)
+    for site in table.memory_sites():
+        before = table.memory_records(site)
+        detail = table.corrupt_memory(site, 0, 0)
+        assert isinstance(detail, str) and detail
+        after_table = loaded(kind)
+        # the corrupted table's state must differ from a clean rebuild
+        assert table.memory_records(site) != after_table.memory_records(
+            site) or before != after_table.memory_records(site)
+        table = loaded(kind)  # fresh table for the next site
+
+
+# -- the injector -------------------------------------------------------------------
+
+
+def test_injector_is_deterministic():
+    results = []
+    for _ in range(2):
+        table = loaded("sequential")
+        injector = MemoryFaultInjector(seed=5)
+        injector.inject(table, flips=4)
+        results.append(injector.stats())
+    assert results[0] == results[1]
+    assert results[0]["flips_applied"] == 4
+
+
+def test_injector_streams_are_independent_per_site():
+    """Striking one site never perturbs another site's draw sequence."""
+    table_a = loaded("multibit-trie")
+    both = MemoryFaultInjector(seed=9)
+    both.inject(table_a, flips=2)  # rotates trie-node, trie-slot
+
+    table_b = loaded("multibit-trie")
+    node_only = MemoryFaultInjector(seed=9, sites=("trie-node",))
+    node_only.inject(table_b, flips=1)
+    assert both.faults[0].to_dict() == node_only.faults[0].to_dict()
+
+
+def test_injector_rejects_unknown_site():
+    with pytest.raises(FaultInjectionError):
+        MemoryFaultInjector(seed=0, sites=("entry", "bogus"))
+
+
+def test_injector_skips_sites_the_table_lacks():
+    table = loaded("cam")
+    injector = MemoryFaultInjector(seed=0, sites=("entry",))
+    injector.inject(table, flips=3)
+    assert injector.flips_applied == 0
+
+
+def test_injector_sites_are_canonically_ordered():
+    injector = MemoryFaultInjector(seed=0,
+                                   sites=("bloom-bucket", "entry"))
+    assert injector.sites == tuple(
+        s for s in MEMORY_SITES if s in ("entry", "bloom-bucket"))

